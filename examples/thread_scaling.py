@@ -1,0 +1,65 @@
+"""Thread-scaling study in the style of the paper's Figures 1 and 2.
+
+Sweeps the simulated thread count for the K-means and TF/IDF operators on
+both corpus profiles and prints self-relative speedup curves, reproducing
+the paper's observation that the larger data set scales much further.
+
+Run with::
+
+    python examples/thread_scaling.py
+"""
+
+from repro import (
+    MIX_PROFILE,
+    NSF_ABSTRACTS_PROFILE,
+    self_relative_speedups,
+)
+from repro.bench import prepare_workload, run_paper_workflow
+from repro.core import format_speedup_table
+
+THREADS = (1, 2, 4, 8, 12, 16, 20)
+
+
+def sweep(workload, phase_selector):
+    times = {}
+    for workers in THREADS:
+        result = run_paper_workflow(
+            workload, mode="discrete", wc_dict_kind="map", workers=workers
+        )
+        times[workers] = phase_selector(result.breakdown())
+    return times
+
+
+def main() -> None:
+    mix = prepare_workload(MIX_PROFILE, scale=0.008, seed=2)
+    nsf = prepare_workload(NSF_ABSTRACTS_PROFILE, scale=0.004, seed=2)
+    print(f"Mix: {mix.n_docs} docs   NSF Abstracts: {nsf.n_docs} docs")
+    print("(virtual times extrapolated to the full Table 1 sizes)\n")
+
+    kmeans = {
+        "Mix": sweep(mix, lambda b: b["kmeans"]),
+        "NSF abstracts": sweep(nsf, lambda b: b["kmeans"]),
+    }
+    print(format_speedup_table(kmeans, title="K-means operator (cf. Figure 1)"))
+    print()
+
+    def tfidf_phase(breakdown):
+        return breakdown["input+wc"] + breakdown["transform"] + breakdown["tfidf-output"]
+
+    tfidf = {
+        "Mix": sweep(mix, tfidf_phase),
+        "NSF abstracts": sweep(nsf, tfidf_phase),
+    }
+    print(format_speedup_table(tfidf, title="TF/IDF operator (cf. Figure 2)"))
+
+    mix_kmeans = self_relative_speedups(kmeans["Mix"])
+    nsf_kmeans = self_relative_speedups(kmeans["NSF abstracts"])
+    print(
+        f"\nK-means at 20 threads: Mix {mix_kmeans[20]:.1f}x vs "
+        f"NSF {nsf_kmeans[20]:.1f}x — the small corpus runs out of "
+        f"scheduling chunks (fixed 8K-document grain), the large one keeps scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""repro — Operator and Workflow Optimization for High-Performance Analytics.
+
+A reproduction of Vandierendonck, Murphy, Arif, Sun & Nikolopoulos,
+*Operator and Workflow Optimization for High-Performance Analytics*
+(MEDAL @ EDBT/ICDT 2016). The library implements the paper's operators
+(TF/IDF, sparse K-means), its four intra-node optimizations (parallel
+compute, parallel input, workflow fusion, data-structure selection) and a
+deterministic virtual-time multicore machine on which every figure and
+table of the paper's evaluation can be regenerated.
+
+Quick start::
+
+    from repro import (
+        MIX_PROFILE, generate_corpus, MemStorage, store_corpus,
+        SimScheduler, paper_node, build_tfidf_kmeans_workflow,
+    )
+
+    corpus = generate_corpus(MIX_PROFILE, scale=0.01)
+    storage = MemStorage()
+    store_corpus(storage, corpus, prefix="in/")
+    workflow = build_tfidf_kmeans_workflow(mode="merged")
+    result = workflow.run(
+        SimScheduler(paper_node(16)), storage,
+        inputs={"tfidf.corpus_prefix": "in/"}, workers=16,
+    )
+    print(result.breakdown())
+"""
+
+from repro.core import (
+    DEFAULT_COSTS,
+    CostConstants,
+    Plan,
+    PlanConfig,
+    ScoreMatrix,
+    Workflow,
+    WorkflowPlanner,
+    WorkflowResult,
+    build_tfidf_kmeans_workflow,
+    fuse_workflow,
+)
+from repro.dicts import HashMap, TreeMap, make_dict
+from repro.exec import (
+    MachineSpec,
+    SimScheduler,
+    TaskCost,
+    Timeline,
+    fast_ssd_node,
+    paper_node,
+    self_relative_speedups,
+)
+from repro.io import (
+    FsStorage,
+    MemStorage,
+    read_sparse_arff,
+    store_corpus,
+    write_sparse_arff,
+)
+from repro.ops import (
+    KMeansOperator,
+    KMeansResult,
+    SimpleKMeansBaseline,
+    TfIdfOperator,
+    TfIdfResult,
+)
+from repro.sparse import CsrMatrix, SparseVector
+from repro.text import (
+    MIX_PROFILE,
+    NSF_ABSTRACTS_PROFILE,
+    Corpus,
+    CorpusProfile,
+    Tokenizer,
+    generate_corpus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Workflow",
+    "WorkflowResult",
+    "build_tfidf_kmeans_workflow",
+    "fuse_workflow",
+    "WorkflowPlanner",
+    "Plan",
+    "PlanConfig",
+    "ScoreMatrix",
+    "CostConstants",
+    "DEFAULT_COSTS",
+    # exec
+    "MachineSpec",
+    "paper_node",
+    "fast_ssd_node",
+    "SimScheduler",
+    "TaskCost",
+    "Timeline",
+    "self_relative_speedups",
+    # operators
+    "TfIdfOperator",
+    "TfIdfResult",
+    "KMeansOperator",
+    "KMeansResult",
+    "SimpleKMeansBaseline",
+    # substrates
+    "TreeMap",
+    "HashMap",
+    "make_dict",
+    "SparseVector",
+    "CsrMatrix",
+    "Tokenizer",
+    "Corpus",
+    "CorpusProfile",
+    "MIX_PROFILE",
+    "NSF_ABSTRACTS_PROFILE",
+    "generate_corpus",
+    "MemStorage",
+    "FsStorage",
+    "store_corpus",
+    "read_sparse_arff",
+    "write_sparse_arff",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness shared by the per-figure benchmark modules."""
+
+from repro.bench.harness import (
+    DEFAULT_BENCH_SCALE,
+    FIG3_THREADS,
+    THREAD_SWEEP,
+    Workload,
+    prepare_workload,
+    run_paper_workflow,
+)
+
+__all__ = [
+    "Workload",
+    "prepare_workload",
+    "run_paper_workflow",
+    "DEFAULT_BENCH_SCALE",
+    "THREAD_SWEEP",
+    "FIG3_THREADS",
+]

@@ -1,0 +1,234 @@
+"""Command-line interface: the paper's operators as separate binaries.
+
+The discrete workflow of §3.3 runs each operator as its own executable
+communicating through files; this CLI makes that literal::
+
+    python -m repro generate --profile mix --scale 0.01 --out data/corpus
+    python -m repro tfidf    --input data/corpus --output data/scores.arff
+    python -m repro kmeans   --input data/scores.arff --output data/clusters.txt
+
+or fused in one process, with the simulated machine's timing report::
+
+    python -m repro workflow --input data/corpus --mode merged --threads 16
+    python -m repro plan     --input data/corpus
+
+All commands operate on real files through :class:`repro.io.FsStorage`,
+so intermediates (the ARFF scores) can be inspected or loaded into WEKA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.planner import WorkflowPlanner
+from repro.core.workflow import build_tfidf_kmeans_workflow
+from repro.exec.machine import paper_node
+from repro.exec.scheduler import SimScheduler
+from repro.io.arff import read_sparse_arff, write_sparse_arff
+from repro.io.corpus_io import load_corpus, store_corpus
+from repro.io.storage import FsStorage
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.text.analysis import fit_heaps, zipf_profile
+from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["main", "build_parser"]
+
+_PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Operator and workflow optimization for analytics "
+        "(MEDAL/EDBT 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus")
+    gen.add_argument("--profile", choices=sorted(_PROFILES), default="mix")
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output directory")
+
+    tfidf = sub.add_parser("tfidf", help="TF/IDF over a corpus directory")
+    tfidf.add_argument("--input", required=True, help="corpus directory")
+    tfidf.add_argument("--output", required=True, help="ARFF output file")
+    tfidf.add_argument("--dict", dest="dict_kind", default="map",
+                       choices=["map", "unordered_map", "dict"])
+    tfidf.add_argument("--min-df", type=int, default=1)
+    tfidf.add_argument("--stopwords", action="store_true")
+
+    kmeans = sub.add_parser("kmeans", help="K-means over an ARFF file")
+    kmeans.add_argument("--input", required=True, help="ARFF input file")
+    kmeans.add_argument("--output", required=True, help="assignments file")
+    kmeans.add_argument("--clusters", type=int, default=8)
+    kmeans.add_argument("--max-iters", type=int, default=10)
+    kmeans.add_argument("--seed", type=int, default=0)
+    kmeans.add_argument("--init", choices=["spread", "kmeans++"], default="spread")
+
+    wf = sub.add_parser("workflow", help="run the fused/discrete workflow "
+                        "with a simulated timing report")
+    wf.add_argument("--input", required=True, help="corpus directory")
+    wf.add_argument("--mode", choices=["merged", "discrete"], default="merged")
+    wf.add_argument("--dict", dest="dict_kind", default="map",
+                    choices=["map", "unordered_map", "dict"])
+    wf.add_argument("--threads", type=int, default=16)
+    wf.add_argument("--cores", type=int, default=16)
+    wf.add_argument("--clusters", type=int, default=8)
+    wf.add_argument("--max-iters", type=int, default=10)
+    wf.add_argument("--output", default="clusters.txt",
+                    help="assignments file (within the input directory)")
+
+    plan = sub.add_parser("plan", help="cost-based planning over a corpus")
+    plan.add_argument("--input", required=True, help="corpus directory")
+    plan.add_argument("--cores", type=int, default=16)
+    plan.add_argument("--pilot-docs", type=int, default=64)
+    plan.add_argument("--memory-budget-gb", type=float, default=None)
+
+    analyze = sub.add_parser(
+        "analyze", help="corpus statistics, Heaps fit and Zipf head"
+    )
+    analyze.add_argument("--input", required=True, help="corpus directory")
+    analyze.add_argument("--top", type=int, default=10)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    profile = _PROFILES[args.profile]
+    corpus = generate_corpus(profile, scale=args.scale, seed=args.seed)
+    storage = FsStorage(args.out)
+    cost = store_corpus(storage, corpus)
+    print(f"wrote {len(corpus)} documents "
+          f"({cost.disk_write_bytes / 1e6:.1f} MB) to {args.out}")
+    return 0
+
+
+def _cmd_tfidf(args) -> int:
+    storage = FsStorage(args.input)
+    corpus = load_corpus(storage, "", name=os.path.basename(args.input))
+    if not len(corpus):
+        print(f"error: no documents found in {args.input}", file=sys.stderr)
+        return 1
+    operator = TfIdfOperator(
+        wc_dict_kind=args.dict_kind,
+        tokenizer=Tokenizer(drop_stopwords=args.stopwords),
+        min_df=args.min_df,
+    )
+    result = operator.fit_transform(corpus)
+    document = write_sparse_arff("tfidf", result.vocabulary,
+                                 result.matrix.iter_rows())
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {result.matrix.n_rows} x {len(result.vocabulary)} scores "
+          f"({len(document) / 1e6:.1f} MB ARFF) to {args.output}")
+    return 0
+
+
+def _cmd_kmeans(args) -> int:
+    with open(args.input, "r", encoding="utf-8") as handle:
+        relation = read_sparse_arff(handle.read())
+    operator = KMeansOperator(
+        n_clusters=args.clusters,
+        max_iters=args.max_iters,
+        seed=args.seed,
+        init=args.init,
+    )
+    result = operator.fit(relation.rows)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        for doc_id, cluster in enumerate(result.assignments):
+            handle.write(f"{doc_id}\t{cluster}\n")
+    sizes = ", ".join(str(s) for s in result.cluster_sizes())
+    print(f"clustered {relation.rows.n_rows} documents into "
+          f"{args.clusters} clusters ({result.n_iters} iterations, "
+          f"converged={result.converged}); sizes: {sizes}")
+    print(f"assignments written to {args.output}")
+    return 0
+
+
+def _cmd_workflow(args) -> int:
+    storage = FsStorage(args.input)
+    workflow = build_tfidf_kmeans_workflow(
+        mode=args.mode,
+        wc_dict_kind=args.dict_kind,
+        n_clusters=args.clusters,
+        max_iters=args.max_iters,
+        output_path=args.output,
+    )
+    scheduler = SimScheduler(paper_node(max(args.cores, args.threads)))
+    result = workflow.run(
+        scheduler, storage, inputs={"tfidf.corpus_prefix": ""},
+        workers=args.threads,
+    )
+    clusters = result.value("kmeans.clusters")
+    print(f"{args.mode} workflow, {args.threads} thread(s) on "
+          f"{scheduler.machine.name}:")
+    for phase, seconds in result.breakdown().items():
+        print(f"  {phase:>14}: {seconds:9.3f}s")
+    print(f"  {'total':>14}: {result.total_s:9.3f}s "
+          f"(peak memory {result.peak_resident_bytes / 1e6:.1f} MB)")
+    print(f"cluster sizes: {clusters.cluster_sizes()}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    storage = FsStorage(args.input)
+    planner = WorkflowPlanner(paper_node(args.cores))
+    budget = (
+        args.memory_budget_gb * 1e9 if args.memory_budget_gb is not None else None
+    )
+    plan = planner.plan(
+        storage, "", pilot_docs=args.pilot_docs, memory_budget_bytes=budget
+    )
+    print(plan.explain())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    storage = FsStorage(args.input)
+    corpus = load_corpus(storage, "", name=os.path.basename(args.input))
+    if not len(corpus):
+        print(f"error: no documents found in {args.input}", file=sys.stderr)
+        return 1
+    stats = corpus.stats()
+    print(f"documents:        {stats.documents:,}")
+    print(f"bytes:            {stats.total_bytes:,} "
+          f"({stats.mean_bytes_per_doc:.0f}/doc)")
+    print(f"tokens:           {stats.total_tokens:,} "
+          f"({stats.mean_tokens_per_doc:.0f}/doc)")
+    print(f"distinct words:   {stats.distinct_words:,}")
+    if stats.documents >= 2:
+        fit = fit_heaps(corpus)
+        print(f"Heaps fit:        V(N) = {fit.k:.1f} * N^{fit.beta:.3f} "
+              f"(R^2={fit.r_squared:.3f})")
+        print(f"  projected vocabulary at 10x the tokens: "
+              f"{fit.predict(10 * stats.total_tokens):,.0f}")
+    head = zipf_profile(corpus, top=args.top)
+    print(f"top-{args.top} term frequencies: "
+          + ", ".join(str(freq) for _, freq in head))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "tfidf": _cmd_tfidf,
+    "kmeans": _cmd_kmeans,
+    "workflow": _cmd_workflow,
+    "plan": _cmd_plan,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Dictionary substrate: the paper's §3.4 data-structure study.
+
+Provides from-scratch implementations of the two standardized structures
+the paper compares — a red-black tree (``std::map`` analogue) and an
+open-addressing hash table (``std::unordered_map`` analogue) — behind a
+common instrumented :class:`~repro.dicts.api.Dictionary` protocol, plus
+cost profiles that convert their operation counts into simulated CPU time
+and memory traffic.
+"""
+
+from repro.dicts.api import Dictionary, OpStats
+from repro.dicts.btree import BTreeMap
+from repro.dicts.builtin import BuiltinDict
+from repro.dicts.cost import (
+    BTREE_PROFILE,
+    BUILTIN_PROFILE,
+    HASHMAP_PROFILE,
+    TREEMAP_PROFILE,
+    DictCostProfile,
+    profile_for_kind,
+)
+from repro.dicts.counter import CountingDict, count_tokens
+from repro.dicts.factory import (
+    DEFAULT_KIND,
+    available_kinds,
+    make_dict,
+    register_dict_kind,
+)
+from repro.dicts.hashmap import HashMap
+from repro.dicts.treemap import TreeMap
+
+__all__ = [
+    "Dictionary",
+    "OpStats",
+    "TreeMap",
+    "HashMap",
+    "BTreeMap",
+    "BuiltinDict",
+    "CountingDict",
+    "count_tokens",
+    "DictCostProfile",
+    "TREEMAP_PROFILE",
+    "HASHMAP_PROFILE",
+    "BTREE_PROFILE",
+    "BUILTIN_PROFILE",
+    "profile_for_kind",
+    "make_dict",
+    "register_dict_kind",
+    "available_kinds",
+    "DEFAULT_KIND",
+]

@@ -1,0 +1,180 @@
+"""Dictionary protocol and operation statistics.
+
+The paper's fourth optimization is the *selection of internal data
+structures*: the dictionaries that map terms to frequencies dominate the
+runtime of the TF/IDF operator, and ``std::map`` (a red-black tree) and
+``std::unordered_map`` (a hash table) trade off insert cost, lookup cost,
+iteration order and memory footprint differently (paper §3.4, Figure 4).
+
+This module defines the common :class:`Dictionary` interface implemented by
+:class:`repro.dicts.treemap.TreeMap` and
+:class:`repro.dicts.hashmap.HashMap`, together with :class:`OpStats`, the
+instrumentation record from which the cost model derives virtual time and
+resident memory.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["OpStats", "Dictionary"]
+
+
+@dataclass
+class OpStats:
+    """Counters for the abstract work performed by a dictionary.
+
+    The counters are *machine-independent*: they count logical events
+    (comparisons, probes, rehash moves) rather than elapsed time. The cost
+    model in :mod:`repro.dicts.cost` converts them into virtual seconds and
+    resident bytes for the simulated machine.
+    """
+
+    inserts: int = 0
+    updates: int = 0
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    comparisons: int = 0
+    probes: int = 0
+    rehashes: int = 0
+    rehash_moves: int = 0
+    iterations: int = 0
+    #: Bytes of backing memory allocated (and first-touched) by the
+    #: structure — pre-sized hash arrays, tree nodes. Drives the
+    #: "memory pressure" cost of §3.4.
+    alloc_bytes: int = 0
+
+    def copy(self) -> "OpStats":
+        """Return an independent snapshot of the current counters."""
+        return OpStats(**vars(self))
+
+    def delta(self, earlier: "OpStats") -> "OpStats":
+        """Return counters accumulated since the ``earlier`` snapshot."""
+        return OpStats(
+            **{name: value - getattr(earlier, name) for name, value in vars(self).items()}
+        )
+
+    def merge(self, other: "OpStats") -> None:
+        """Add ``other``'s counters into this record (for worker merges)."""
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
+    @property
+    def total_ops(self) -> int:
+        """Total number of top-level dictionary operations performed."""
+        return self.inserts + self.updates + self.lookups
+
+
+class Dictionary(ABC):
+    """Mutable mapping with instrumented operations and explicit memory.
+
+    Keys must be mutually comparable (for the tree implementation) and
+    hashable (for the hash implementation); the operators in this library
+    only use ``str`` and ``int`` keys.
+    """
+
+    #: Short identifier used by factories, plans and reports
+    #: (e.g. ``"map"`` or ``"unordered_map"``).
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = OpStats()
+
+    # -- required primitives -------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+
+    @abstractmethod
+    def put(self, key: Any, value: Any) -> None:
+        """Insert ``key`` or overwrite its existing value."""
+
+    @abstractmethod
+    def remove(self, key: Any) -> bool:
+        """Delete ``key`` if present; return whether it was present."""
+
+    @abstractmethod
+    def __contains__(self, key: Any) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate over ``(key, value)`` pairs in implementation order.
+
+        The tree iterates in sorted key order; the hash map in slot order.
+        """
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove all entries, keeping the instance reusable."""
+
+    @abstractmethod
+    def resident_bytes(self) -> int:
+        """Modelled resident memory of the structure, in bytes."""
+
+    # -- shared conveniences --------------------------------------------------
+
+    def increment(self, key: Any, amount: int = 1) -> int:
+        """Add ``amount`` to the integer counter stored under ``key``.
+
+        Missing keys count from zero. Returns the new value. This is the
+        hot-path operation of the word-count phase.
+        """
+        current = self.get(key)
+        updated = amount if current is None else current + amount
+        self.put(key, updated)
+        return updated
+
+    def items_sorted(self) -> list[tuple[Any, Any]]:
+        """Return all entries sorted by key.
+
+        For the tree this is a plain in-order walk; for the hash map it
+        requires an explicit sort, which is exactly the extra work the paper
+        notes when sorted output (ARFF term ids) is needed.
+        """
+        entries = list(self.items())
+        if self.kind == "map":
+            return entries
+        return sorted(entries, key=lambda pair: pair[0])
+
+    def __getitem__(self, key: Any) -> Any:
+        sentinel = _MISSING
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.put(key, value)
+
+    def __iter__(self) -> Iterator[Any]:
+        return (key for key, _ in self.items())
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        return (value for _, value in self.items())
+
+    def to_dict(self) -> dict:
+        """Materialise the contents as a builtin ``dict`` (for tests)."""
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} kind={self.kind!r} len={len(self)}>"
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,340 @@
+"""B-tree map — a cache-conscious ordered dictionary.
+
+The paper compares the two structures the C++ standard library offers;
+an obvious "future work" question is whether a *cache-friendly* ordered
+structure gets the best of both: sorted iteration like ``std::map`` with
+far fewer dependent pointer chases per lookup. A B-tree answers it — each
+node holds up to ``2·order − 1`` keys scanned within one or two cache
+lines, so a lookup costs O(log_B n) node visits instead of O(log₂ n).
+
+Instrumentation: node visits count as ``probes`` (one cache-line-ish
+touch each) and within-node binary-search steps as ``comparisons``, so
+the cost profile can weigh pointer chases and in-node work separately.
+
+This is an extension beyond the paper; the ablation benchmark
+``benchmarks/test_ablation_btree.py`` places it in the Figure 4 design
+space.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Iterator
+
+from repro.dicts.api import Dictionary
+from repro.errors import ConfigurationError
+
+__all__ = ["BTreeMap", "DEFAULT_ORDER", "BTREE_NODE_HEADER_BYTES"]
+
+#: Minimum degree (t): nodes hold t-1 .. 2t-1 keys.
+DEFAULT_ORDER = 16
+
+#: Fixed per-node footprint besides the key/value/child arrays.
+BTREE_NODE_HEADER_BYTES = 32
+
+#: Modelled bytes per key slot (key ref + value ref).
+_SLOT_BYTES = 16
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = [] if leaf else []
+        if not leaf:
+            self.children = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeMap(Dictionary):
+    """Ordered dictionary backed by a B-tree of minimum degree ``order``.
+
+    Deletion uses the lazy standard approach (rebalance on the way down);
+    iteration is an in-order walk yielding sorted keys, so
+    :meth:`items_sorted` is free just like the red-black tree's.
+    """
+
+    kind = "btree"
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        super().__init__()
+        if order < 2:
+            raise ConfigurationError(f"order must be >= 2, got {order}")
+        self._t = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._n_nodes = 1
+        self._key_bytes = 0
+        self.stats.alloc_bytes += self._node_bytes()
+
+    # -- sizing ---------------------------------------------------------------
+
+    def _node_bytes(self) -> int:
+        return BTREE_NODE_HEADER_BYTES + (2 * self._t - 1) * _SLOT_BYTES
+
+    def resident_bytes(self) -> int:
+        return self._n_nodes * self._node_bytes() + self._key_bytes
+
+    # -- search ----------------------------------------------------------------
+
+    def _search_node(self, node: _Node, key: Any) -> tuple[_Node, int, bool]:
+        """Descend to the node containing (or that would contain) ``key``."""
+        while True:
+            self.stats.probes += 1
+            index = bisect_left(node.keys, key)
+            # Binary search within the node: log2 of the node's fill.
+            self.stats.comparisons += max(1, len(node.keys)).bit_length()
+            if index < len(node.keys) and node.keys[index] == key:
+                return node, index, True
+            if node.leaf:
+                return node, index, False
+            node = node.children[index]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.stats.lookups += 1
+        node, index, found = self._search_node(self._root, key)
+        if found:
+            self.stats.hits += 1
+            return node.values[index]
+        self.stats.misses += 1
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        self.stats.lookups += 1
+        _, _, found = self._search_node(self._root, key)
+        if found:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return found
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion -------------------------------------------------------------
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        self._n_nodes += 1
+        self.stats.alloc_bytes += self._node_bytes()
+
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        # Splitting moves half a node's worth of entries.
+        self.stats.rehash_moves += t
+
+    def put(self, key: Any, value: Any) -> None:
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._root = new_root
+            self._n_nodes += 1
+            self.stats.alloc_bytes += self._node_bytes()
+            self._split_child(new_root, 0)
+        self._insert_nonfull(self._root, key, value)
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            self.stats.probes += 1
+            index = bisect_left(node.keys, key)
+            self.stats.comparisons += max(1, len(node.keys)).bit_length()
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                self.stats.updates += 1
+                return
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self._size += 1
+                self.stats.inserts += 1
+                if isinstance(key, str):
+                    self._key_bytes += len(key)
+                    self.stats.alloc_bytes += len(key)
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if key > node.keys[index]:
+                    index += 1
+                elif key == node.keys[index]:
+                    node.values[index] = value
+                    self.stats.updates += 1
+                    return
+            node = node.children[index]
+
+    # -- deletion ---------------------------------------------------------------
+
+    def remove(self, key: Any) -> bool:
+        if key not in self._unmetered_view():
+            return False
+        self._delete(self._root, key)
+        self._size -= 1
+        if isinstance(key, str):
+            self._key_bytes -= len(key)
+        if not self._root.leaf and not self._root.keys:
+            self._root = self._root.children[0]
+            self._n_nodes -= 1
+        return True
+
+    def _unmetered_view(self) -> set:
+        """Key set without touching counters (internal pre-check)."""
+        keys = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            keys.update(node.keys)
+            stack.extend(node.children)
+        return keys
+
+    def _delete(self, node: _Node, key: Any) -> None:
+        t = self._t
+        index = bisect_left(node.keys, key)
+        self.stats.probes += 1
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_node = left
+                while not pred_node.leaf:
+                    pred_node = pred_node.children[-1]
+                node.keys[index] = pred_node.keys[-1]
+                node.values[index] = pred_node.values[-1]
+                self._delete(left, pred_node.keys[-1])
+            elif len(right.keys) >= t:
+                succ_node = right
+                while not succ_node.leaf:
+                    succ_node = succ_node.children[0]
+                node.keys[index] = succ_node.keys[0]
+                node.values[index] = succ_node.values[0]
+                self._delete(right, succ_node.keys[0])
+            else:
+                self._merge_children(node, index)
+                self._delete(left, key)
+            return
+        if node.leaf:
+            return  # not present (guarded by remove())
+        child = node.children[index]
+        if len(child.keys) < t:
+            index = self._fill_child(node, index)
+            child = node.children[index]
+        self._delete(child, key)
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        left, right = node.children[index], node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(index + 1)
+        self._n_nodes -= 1
+        self.stats.rehash_moves += len(right.keys)
+
+    def _fill_child(self, node: _Node, index: int) -> int:
+        """Ensure child ``index`` has >= t keys; returns the (possibly
+        shifted) index to continue the descent at."""
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.children) - 1 and len(
+            node.children[index + 1].keys
+        ) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index < len(node.children) - 1:
+            self._merge_children(node, index)
+            return index
+        self._merge_children(node, index - 1)
+        return index - 1
+
+    # -- iteration ---------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.leaf:
+            for key, value in zip(node.keys, node.values):
+                self.stats.iterations += 1
+                yield key, value
+            return
+        for i, (key, value) in enumerate(zip(node.keys, node.values)):
+            yield from self._walk(node.children[i])
+            self.stats.iterations += 1
+            yield key, value
+        yield from self._walk(node.children[-1])
+
+    def items_sorted(self) -> list[tuple[Any, Any]]:
+        # In-order walk is already sorted (like kind == "map").
+        return list(self.items())
+
+    def clear(self) -> None:
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._n_nodes = 1
+        self._key_bytes = 0
+        self.stats.alloc_bytes += self._node_bytes()
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert B-tree invariants (used by property tests)."""
+        t = self._t
+
+        def check(node: _Node, is_root: bool, lo, hi) -> int:
+            assert len(node.keys) <= 2 * t - 1, "overfull node"
+            if not is_root:
+                assert len(node.keys) >= t - 1, "underfull node"
+            assert node.keys == sorted(node.keys), "unsorted node keys"
+            for key in node.keys:
+                if lo is not None:
+                    assert key > lo
+                if hi is not None:
+                    assert key < hi
+            if node.leaf:
+                return 1
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lo] + list(node.keys) + [hi]
+            depths = {
+                check(child, False, bounds[i], bounds[i + 1])
+                for i, child in enumerate(node.children)
+            }
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop() + 1
+
+        check(self._root, True, None, None)
+        assert len(list(self.items())) == self._size

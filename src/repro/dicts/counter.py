@@ -1,0 +1,88 @@
+"""Counting adapters built on the :class:`~repro.dicts.api.Dictionary` protocol.
+
+Word counting is the hot phase of TF/IDF (paper §3.2): every token of every
+document performs one ``increment`` against a per-document term-frequency
+dictionary, and every *distinct* term of a document performs one increment
+against the global document-frequency dictionary. These adapters keep that
+logic in one place so the operators stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.dicts.api import Dictionary, OpStats
+
+__all__ = ["CountingDict", "count_tokens"]
+
+
+class CountingDict:
+    """Thin counting facade over any :class:`Dictionary` implementation.
+
+    The facade does not change the underlying structure's behaviour or
+    statistics; it only packages the common counting idioms (increment,
+    bulk-count, merge) used by the word-count and document-frequency steps.
+    """
+
+    def __init__(self, backing: Dictionary) -> None:
+        self.backing = backing
+
+    @property
+    def kind(self) -> str:
+        """Kind of the underlying dictionary (``map``/``unordered_map``/...)."""
+        return self.backing.kind
+
+    @property
+    def stats(self) -> OpStats:
+        return self.backing.stats
+
+    def increment(self, key: Any, amount: int = 1) -> int:
+        return self.backing.increment(key, amount)
+
+    def count_all(self, keys: Iterable[Any]) -> int:
+        """Increment once per key; returns the number of keys consumed."""
+        consumed = 0
+        for key in keys:
+            self.backing.increment(key)
+            consumed += 1
+        return consumed
+
+    def merge_counts(self, other: "CountingDict | Dictionary") -> None:
+        """Add another counter's totals into this one (worker merge step)."""
+        source = other.backing if isinstance(other, CountingDict) else other
+        for key, value in source.items():
+            self.backing.increment(key, value)
+
+    def get(self, key: Any, default: int = 0) -> int:
+        return self.backing.get(key, default)
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        return self.backing.items()
+
+    def items_sorted(self) -> list[tuple[Any, int]]:
+        return self.backing.items_sorted()
+
+    def clear(self) -> None:
+        self.backing.clear()
+
+    def resident_bytes(self) -> int:
+        return self.backing.resident_bytes()
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.backing
+
+    def total(self) -> int:
+        """Sum of all counts (total token occurrences)."""
+        return sum(value for _, value in self.backing.items())
+
+
+def count_tokens(tokens: Iterable[str], counter: Dictionary) -> int:
+    """Count ``tokens`` into ``counter``; return the number of tokens seen."""
+    seen = 0
+    for token in tokens:
+        counter.increment(token)
+        seen += 1
+    return seen

@@ -1,0 +1,69 @@
+"""Factory and registry for dictionary implementations.
+
+Operators never instantiate a concrete dictionary type directly: they
+receive a *kind* string from the workflow plan (``"map"``,
+``"unordered_map"`` or ``"dict"``) and call :func:`make_dict`. This is the
+seam the paper's fourth optimization turns: the planner assigns a possibly
+different kind to each workflow phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dicts.api import Dictionary
+from repro.dicts.btree import BTreeMap
+from repro.dicts.builtin import BuiltinDict
+from repro.dicts.hashmap import DEFAULT_RESERVE, HashMap
+from repro.dicts.treemap import TreeMap
+from repro.errors import ConfigurationError
+
+__all__ = ["make_dict", "register_dict_kind", "available_kinds", "DEFAULT_KIND"]
+
+#: Kind used when a plan does not specify one.
+DEFAULT_KIND = "map"
+
+_REGISTRY: dict[str, Callable[[int], Dictionary]] = {
+    "map": lambda reserve: TreeMap(),
+    "unordered_map": lambda reserve: HashMap(reserve=reserve),
+    "btree": lambda reserve: BTreeMap(),
+    "dict": lambda reserve: BuiltinDict(),
+}
+
+
+def make_dict(kind: str = DEFAULT_KIND, reserve: int = DEFAULT_RESERVE) -> Dictionary:
+    """Instantiate a dictionary of the requested ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        One of :func:`available_kinds` (``"map"``, ``"unordered_map"``,
+        ``"dict"`` unless extended).
+    reserve:
+        Pre-sizing hint; only meaningful for hash-based kinds. Defaults to
+        the paper's 4K pre-size.
+    """
+    try:
+        builder = _REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dictionary kind {kind!r}; available: {available_kinds()}"
+        ) from None
+    return builder(reserve)
+
+
+def register_dict_kind(kind: str, builder: Callable[[int], Dictionary]) -> None:
+    """Register a custom dictionary implementation under ``kind``.
+
+    ``builder`` receives the reserve hint and must return a fresh
+    :class:`Dictionary`. Registering an existing kind replaces it, which is
+    useful in tests; production code should pick fresh names.
+    """
+    if not kind:
+        raise ConfigurationError("dictionary kind must be a non-empty string")
+    _REGISTRY[kind] = builder
+
+
+def available_kinds() -> list[str]:
+    """Sorted list of registered dictionary kinds."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,396 @@
+"""Red-black tree map — the reproduction's stand-in for ``std::map``.
+
+The paper (§3.4) observes that the insert-heavy *input+wordcount* phase of
+TF/IDF runs faster with ``std::map`` than with ``std::unordered_map``
+because tree insertion touches O(log n) nodes with good locality, avoids
+rehashing, and keeps memory proportional to the number of live entries.
+This module implements that structure from scratch: a textbook (CLRS)
+red-black tree with parent pointers and a NIL sentinel, instrumented so
+the cost model can account comparisons per operation.
+
+Implementation notes
+--------------------
+* Standard CLRS insertion/deletion fix-up with a sentinel NIL node.
+* Every key comparison increments ``stats.comparisons`` — that counter is
+  the basis of the tree's virtual cost (``c_tree * comparisons``).
+* ``resident_bytes`` models one heap node per entry (as ``std::map`` does),
+  so memory tracks the live entry count exactly; contrast with the hash
+  map whose backing array is deliberately sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.dicts.api import Dictionary
+
+__all__ = ["TreeMap", "NODE_OVERHEAD_BYTES"]
+
+_RED = True
+_BLACK = False
+
+#: Modelled per-node footprint: three pointers, colour, key and value slots,
+#: allocator padding — matches a typical 64-bit ``std::map`` node.
+NODE_OVERHEAD_BYTES = 64
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "parent", "red", "key_bytes")
+
+    def __init__(self, key: Any, value: Any, key_bytes: int) -> None:
+        self.key = key
+        self.value = value
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.parent: "_Node | None" = None
+        self.red = _RED
+        self.key_bytes = key_bytes
+
+
+def _key_footprint(key: Any) -> int:
+    """Bytes attributed to storing ``key`` out-of-line (strings only)."""
+    if isinstance(key, str):
+        return len(key)
+    return 0
+
+
+class TreeMap(Dictionary):
+    """Ordered dictionary backed by a red-black tree.
+
+    Iteration yields entries in ascending key order at no extra cost, which
+    is why the TF/IDF output phase (sorted term ids) favours this structure
+    even though individual lookups are O(log n).
+    """
+
+    kind = "map"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._nil = _Node(None, None, 0)
+        self._nil.red = _BLACK
+        self._root = self._nil
+        self._size = 0
+        self._key_bytes = 0
+
+    # -- core operations ------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.stats.lookups += 1
+        node = self._find(key)
+        if node is self._nil:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return node.value
+
+    def put(self, key: Any, value: Any) -> None:
+        parent = self._nil
+        current = self._root
+        while current is not self._nil:
+            parent = current
+            self.stats.comparisons += 1
+            if key < current.key:
+                current = current.left
+            elif key > current.key:
+                self.stats.comparisons += 1
+                current = current.right
+            else:
+                self.stats.comparisons += 1
+                current.value = value
+                self.stats.updates += 1
+                return
+
+        node = _Node(key, value, _key_footprint(key))
+        node.left = node.right = self._nil
+        node.parent = parent
+        if parent is self._nil:
+            self._root = node
+        else:
+            self.stats.comparisons += 1
+            if key < parent.key:
+                parent.left = node
+            else:
+                parent.right = node
+        self._size += 1
+        self._key_bytes += node.key_bytes
+        self.stats.inserts += 1
+        self.stats.alloc_bytes += NODE_OVERHEAD_BYTES + node.key_bytes
+        self._insert_fixup(node)
+
+    def remove(self, key: Any) -> bool:
+        node = self._find(key)
+        if node is self._nil:
+            return False
+        self._delete_node(node)
+        self._size -= 1
+        self._key_bytes -= node.key_bytes
+        return True
+
+    def __contains__(self, key: Any) -> bool:
+        self.stats.lookups += 1
+        found = self._find(key) is not self._nil
+        if found:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return found
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        node = self._minimum(self._root)
+        while node is not self._nil:
+            self.stats.iterations += 1
+            yield node.key, node.value
+            node = self._successor(node)
+
+    def clear(self) -> None:
+        self._root = self._nil
+        self._size = 0
+        self._key_bytes = 0
+
+    def resident_bytes(self) -> int:
+        return self._size * NODE_OVERHEAD_BYTES + self._key_bytes
+
+    # -- ordered extras --------------------------------------------------------
+
+    def min_key(self) -> Any:
+        """Smallest key, or ``None`` when empty."""
+        node = self._minimum(self._root)
+        return None if node is self._nil else node.key
+
+    def max_key(self) -> Any:
+        """Largest key, or ``None`` when empty."""
+        node = self._root
+        if node is self._nil:
+            return None
+        while node.right is not self._nil:
+            node = node.right
+        return node.key
+
+    def floor_key(self, key: Any) -> Any:
+        """Largest stored key ``<= key``, or ``None``."""
+        best = None
+        node = self._root
+        while node is not self._nil:
+            self.stats.comparisons += 1
+            if node.key == key:
+                return node.key
+            if node.key < key:
+                best = node.key
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def ceiling_key(self, key: Any) -> Any:
+        """Smallest stored key ``>= key``, or ``None``."""
+        best = None
+        node = self._root
+        while node is not self._nil:
+            self.stats.comparisons += 1
+            if node.key == key:
+                return node.key
+            if node.key > key:
+                best = node.key
+                node = node.left
+            else:
+                node = node.right
+        return best
+
+    # -- red-black machinery ----------------------------------------------------
+
+    def _find(self, key: Any) -> _Node:
+        node = self._root
+        while node is not self._nil:
+            self.stats.comparisons += 1
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return node
+
+    def _minimum(self, node: _Node) -> _Node:
+        if node is self._nil:
+            return node
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _successor(self, node: _Node) -> _Node:
+        if node.right is not self._nil:
+            return self._minimum(node.right)
+        parent = node.parent
+        while parent is not self._nil and node is parent.right:
+            node = parent
+            parent = parent.parent
+        return parent
+
+    def _rotate_left(self, node: _Node) -> None:
+        pivot = node.right
+        node.right = pivot.left
+        if pivot.left is not self._nil:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is self._nil:
+            self._root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: _Node) -> None:
+        pivot = node.left
+        node.left = pivot.right
+        if pivot.right is not self._nil:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is self._nil:
+            self._root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    def _insert_fixup(self, node: _Node) -> None:
+        while node.parent.red:
+            grandparent = node.parent.parent
+            if node.parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle.red:
+                    node.parent.red = _BLACK
+                    uncle.red = _BLACK
+                    grandparent.red = _RED
+                    node = grandparent
+                else:
+                    if node is node.parent.right:
+                        node = node.parent
+                        self._rotate_left(node)
+                    node.parent.red = _BLACK
+                    node.parent.parent.red = _RED
+                    self._rotate_right(node.parent.parent)
+            else:
+                uncle = grandparent.left
+                if uncle.red:
+                    node.parent.red = _BLACK
+                    uncle.red = _BLACK
+                    grandparent.red = _RED
+                    node = grandparent
+                else:
+                    if node is node.parent.left:
+                        node = node.parent
+                        self._rotate_right(node)
+                    node.parent.red = _BLACK
+                    node.parent.parent.red = _RED
+                    self._rotate_left(node.parent.parent)
+        self._root.red = _BLACK
+
+    def _transplant(self, old: _Node, new: _Node) -> None:
+        if old.parent is self._nil:
+            self._root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        new.parent = old.parent
+
+    def _delete_node(self, node: _Node) -> None:
+        moved = node
+        moved_was_red = moved.red
+        if node.left is self._nil:
+            child = node.right
+            self._transplant(node, node.right)
+        elif node.right is self._nil:
+            child = node.left
+            self._transplant(node, node.left)
+        else:
+            moved = self._minimum(node.right)
+            moved_was_red = moved.red
+            child = moved.right
+            if moved.parent is node:
+                child.parent = moved
+            else:
+                self._transplant(moved, moved.right)
+                moved.right = node.right
+                moved.right.parent = moved
+            self._transplant(node, moved)
+            moved.left = node.left
+            moved.left.parent = moved
+            moved.red = node.red
+        if not moved_was_red:
+            self._delete_fixup(child)
+
+    def _delete_fixup(self, node: _Node) -> None:
+        while node is not self._root and not node.red:
+            if node is node.parent.left:
+                sibling = node.parent.right
+                if sibling.red:
+                    sibling.red = _BLACK
+                    node.parent.red = _RED
+                    self._rotate_left(node.parent)
+                    sibling = node.parent.right
+                if not sibling.left.red and not sibling.right.red:
+                    sibling.red = _RED
+                    node = node.parent
+                else:
+                    if not sibling.right.red:
+                        sibling.left.red = _BLACK
+                        sibling.red = _RED
+                        self._rotate_right(sibling)
+                        sibling = node.parent.right
+                    sibling.red = node.parent.red
+                    node.parent.red = _BLACK
+                    sibling.right.red = _BLACK
+                    self._rotate_left(node.parent)
+                    node = self._root
+            else:
+                sibling = node.parent.left
+                if sibling.red:
+                    sibling.red = _BLACK
+                    node.parent.red = _RED
+                    self._rotate_right(node.parent)
+                    sibling = node.parent.left
+                if not sibling.right.red and not sibling.left.red:
+                    sibling.red = _RED
+                    node = node.parent
+                else:
+                    if not sibling.left.red:
+                        sibling.right.red = _BLACK
+                        sibling.red = _RED
+                        self._rotate_left(sibling)
+                        sibling = node.parent.left
+                    sibling.red = node.parent.red
+                    node.parent.red = _BLACK
+                    sibling.left.red = _BLACK
+                    self._rotate_right(node.parent)
+                    node = self._root
+        node.red = _BLACK
+
+    # -- validation (used by property tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the red-black invariants; raises ``AssertionError`` if broken.
+
+        Checked: root is black, no red node has a red child, every root-to-NIL
+        path has the same black height, and in-order keys are strictly
+        increasing.
+        """
+        assert not self._root.red, "root must be black"
+        self._check_subtree(self._root)
+        keys = [key for key, _ in self.items()]
+        assert all(a < b for a, b in zip(keys, keys[1:])), "keys must be ordered"
+        assert len(keys) == self._size, "size counter out of sync"
+
+    def _check_subtree(self, node: _Node) -> int:
+        if node is self._nil:
+            return 1
+        if node.red:
+            assert not node.left.red and not node.right.red, "red node with red child"
+        left_height = self._check_subtree(node.left)
+        right_height = self._check_subtree(node.right)
+        assert left_height == right_height, "black-height mismatch"
+        return left_height + (0 if node.red else 1)

@@ -1,0 +1,77 @@
+"""Real execution backends (no simulation).
+
+The simulator answers "how would this scale on a 16-core node"; these
+backends simply *run* the operators on the host for functional use —
+examples, correctness tests, and real-data workloads. ``ThreadBackend``
+uses a thread pool, which on CPython mostly helps I/O-bound stages but
+keeps the operators' code paths identical to the simulated runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExecutionBackend", "SequentialBackend", "ThreadBackend"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class ExecutionBackend:
+    """Interface: map a function over items, preserving input order."""
+
+    name = "abstract"
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> list[ResultT]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SequentialBackend(ExecutionBackend):
+    """Runs the loop inline on the calling thread."""
+
+    name = "sequential"
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Runs the loop on a pool of OS threads."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.name = f"threads-{workers}"
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn, items):
+        if not isinstance(items, Sequence):
+            items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,110 @@
+"""Task cost records for the virtual-time simulator.
+
+Operators execute their real Python logic and, as a by-product, produce a
+:class:`TaskCost` per unit of work (per document chunk, per file, per
+centroid update...). The scheduler never times Python execution — wall
+clock on the host is irrelevant — it only aggregates these declared costs
+onto the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.machine import MachineSpec
+
+__all__ = ["TaskCost"]
+
+
+@dataclass
+class TaskCost:
+    """Resources consumed by one schedulable unit of work.
+
+    Attributes
+    ----------
+    cpu_s:
+        Pure computation time on one core, in virtual seconds.
+    mem_bytes:
+        DRAM traffic generated (reads + writes); interacts with both the
+        per-core and the socket-level bandwidth limits.
+    disk_read_bytes / disk_write_bytes:
+        Bytes moved to/from the storage device, performed synchronously
+        within the task (a task reading its input file blocks on it, but
+        other cores keep computing — that is the paper's "parallelism
+        hides I/O latency").
+    disk_opens:
+        Number of file-open operations, each charged the device latency.
+    """
+
+    cpu_s: float = 0.0
+    mem_bytes: float = 0.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    disk_opens: int = 0
+
+    def add(self, other: "TaskCost") -> "TaskCost":
+        """Accumulate ``other`` into this cost; returns self for chaining."""
+        self.cpu_s += other.cpu_s
+        self.mem_bytes += other.mem_bytes
+        self.disk_read_bytes += other.disk_read_bytes
+        self.disk_write_bytes += other.disk_write_bytes
+        self.disk_opens += other.disk_opens
+        return self
+
+    def __add__(self, other: "TaskCost") -> "TaskCost":
+        return TaskCost(
+            cpu_s=self.cpu_s + other.cpu_s,
+            mem_bytes=self.mem_bytes + other.mem_bytes,
+            disk_read_bytes=self.disk_read_bytes + other.disk_read_bytes,
+            disk_write_bytes=self.disk_write_bytes + other.disk_write_bytes,
+            disk_opens=self.disk_opens + other.disk_opens,
+        )
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """Cost multiplied by ``factor`` (used for extrapolation)."""
+        return TaskCost(
+            cpu_s=self.cpu_s * factor,
+            mem_bytes=self.mem_bytes * factor,
+            disk_read_bytes=self.disk_read_bytes * factor,
+            disk_write_bytes=self.disk_write_bytes * factor,
+            disk_opens=int(round(self.disk_opens * factor)),
+        )
+
+    def compute_time(self, machine: MachineSpec) -> float:
+        """Single-core compute time: CPU overlapped with its own DRAM traffic.
+
+        A core executes instructions and its memory accesses concurrently up
+        to its private streaming limit, hence the ``max``.
+        """
+        return max(self.cpu_s, self.mem_bytes / machine.core_mem_bw)
+
+    def io_time(self, machine: MachineSpec) -> float:
+        """Synchronous storage time paid inside this task."""
+        return (
+            self.disk_read_bytes / machine.disk_read_bw
+            + self.disk_write_bytes / machine.disk_write_bw
+            + self.disk_opens * machine.disk_latency_s
+        )
+
+    def duration_on(self, machine: MachineSpec) -> float:
+        """Total occupancy of one core by this task (compute + blocking I/O)."""
+        return self.compute_time(machine) + self.io_time(machine)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the task consumes no modelled resources."""
+        return (
+            self.cpu_s == 0.0
+            and self.mem_bytes == 0.0
+            and self.disk_read_bytes == 0.0
+            and self.disk_write_bytes == 0.0
+            and self.disk_opens == 0
+        )
+
+    @staticmethod
+    def total(costs: "list[TaskCost] | tuple[TaskCost, ...]") -> "TaskCost":
+        """Sum a sequence of costs into one record."""
+        result = TaskCost()
+        for cost in costs:
+            result.add(cost)
+        return result

@@ -1,0 +1,31 @@
+"""I/O substrate: ARFF codec, metered storage backends, corpus persistence."""
+
+from repro.io.arff import (
+    ArffRelation,
+    arff_lines,
+    parse_arff_lines,
+    read_sparse_arff,
+    write_sparse_arff,
+)
+from repro.io.corpus_io import (
+    corpus_paths,
+    load_corpus,
+    read_document,
+    store_corpus,
+)
+from repro.io.storage import FsStorage, MemStorage, Storage
+
+__all__ = [
+    "ArffRelation",
+    "arff_lines",
+    "parse_arff_lines",
+    "read_sparse_arff",
+    "write_sparse_arff",
+    "Storage",
+    "MemStorage",
+    "FsStorage",
+    "store_corpus",
+    "load_corpus",
+    "corpus_paths",
+    "read_document",
+]

@@ -1,0 +1,48 @@
+"""Persisting and loading corpora through a :class:`Storage` backend.
+
+The TF/IDF operator's input is a directory of text files, one per
+document — that layout is what makes the paper's *parallel input*
+optimization possible (independent files can be read concurrently, §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.exec.task import TaskCost
+from repro.io.storage import Storage
+from repro.text.corpus import Corpus, Document
+
+__all__ = ["store_corpus", "load_corpus", "corpus_paths", "read_document"]
+
+
+def corpus_paths(storage: Storage, prefix: str) -> list[str]:
+    """Paths of all documents stored under ``prefix``, in name order."""
+    return list(storage.list(prefix))
+
+
+def store_corpus(storage: Storage, corpus: Corpus, prefix: str = "") -> TaskCost:
+    """Write each document to ``<prefix><doc.name>``; returns total I/O cost."""
+    total = TaskCost()
+    for doc in corpus:
+        total.add(storage.write(prefix + doc.name, doc.text))
+    return total
+
+
+def read_document(
+    storage: Storage, path: str, doc_id: int
+) -> tuple[Document, TaskCost]:
+    """Read one document file; the returned cost is the task's I/O bill."""
+    text, cost = storage.read(path)
+    name = path.rsplit("/", 1)[-1]
+    return Document(doc_id=doc_id, name=name, text=text), cost
+
+
+def load_corpus(storage: Storage, prefix: str, name: str = "corpus") -> Corpus:
+    """Load every document under ``prefix`` into a fresh corpus.
+
+    Functional helper (costs discarded); simulated workflows read the files
+    inside their own metered tasks instead.
+    """
+    corpus = Corpus(name=name)
+    for path in corpus_paths(storage, prefix):
+        corpus.add(path.rsplit("/", 1)[-1], storage.read_data(path))
+    return corpus

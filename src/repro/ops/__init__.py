@@ -1,0 +1,36 @@
+"""Analytics operators: TF/IDF, K-means and the baselines."""
+
+from repro.ops.baselines import SimpleKMeansBaseline
+from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
+from repro.ops.knn import KnnClassifier, Neighbor
+from repro.ops.minhash import DuplicatePair, MinHasher, shingles
+from repro.ops.topk import TermCount, TopTermsOp, top_k_terms
+from repro.ops.tfidf import (
+    PHASE_TFIDF_OUTPUT,
+    PHASE_TRANSFORM,
+    TfIdfOperator,
+    TfIdfResult,
+)
+from repro.ops.wordcount import PHASE_INPUT_WC, WordCountResult, WordCountStep
+
+__all__ = [
+    "WordCountStep",
+    "WordCountResult",
+    "TfIdfOperator",
+    "TfIdfResult",
+    "KMeansOperator",
+    "KMeansResult",
+    "SimpleKMeansBaseline",
+    "KnnClassifier",
+    "Neighbor",
+    "MinHasher",
+    "DuplicatePair",
+    "shingles",
+    "TermCount",
+    "TopTermsOp",
+    "top_k_terms",
+    "PHASE_INPUT_WC",
+    "PHASE_TRANSFORM",
+    "PHASE_TFIDF_OUTPUT",
+    "PHASE_KMEANS",
+]

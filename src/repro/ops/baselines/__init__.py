@@ -1,0 +1,5 @@
+"""Baseline implementations the paper compares against."""
+
+from repro.ops.baselines.weka_kmeans import SimpleKMeansBaseline
+
+__all__ = ["SimpleKMeansBaseline"]

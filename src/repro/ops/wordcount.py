@@ -1,0 +1,246 @@
+"""Word-count step: per-document term frequencies + document frequencies.
+
+This is phase 1 of the TF/IDF operator (paper §3.2): read each document,
+tokenize it, build a per-document term-frequency dictionary, and maintain a
+global term → document-count dictionary. The phase parallelises over
+documents; the global dictionary is kept contention-free the way a Cilk
+reducer would — every worker counts into a private dictionary and the
+privates are merged in a reduction tree afterwards.
+
+All dictionary work is performed for real on the configured implementation
+(``map``/``unordered_map``), and the operation counts are converted into
+simulated time through the dictionary cost profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import DEFAULT_COSTS, UNIT_SCALE, CostConstants, WorkloadScale
+from repro.dicts.api import Dictionary
+from repro.dicts.cost import DictCostProfile, profile_for_kind
+from repro.dicts.factory import make_dict
+from repro.exec.scheduler import PhaseTiming, SimScheduler
+from repro.exec.task import TaskCost
+from repro.io.storage import Storage
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["WordCountResult", "WordCountStep", "PHASE_INPUT_WC"]
+
+#: Phase label used in Figure 3/4 breakdowns.
+PHASE_INPUT_WC = "input+wc"
+
+
+@dataclass
+class WordCountResult:
+    """Output of the word-count step.
+
+    ``doc_tfs`` is aligned with the input path order; keeping the
+    per-document dictionaries alive until the transform step is what makes
+    the fused workflow memory-hungry under ``unordered_map`` (Figure 4's
+    12.8 GB) and compact under ``map`` (420 MB).
+    """
+
+    paths: list[str]
+    doc_tfs: list[Dictionary]
+    doc_token_counts: list[int]
+    df: Dictionary
+    dict_kind: str
+    input_bytes: int = 0
+    total_tokens: int = 0
+    #: Extrapolation factors the producing step was configured with.
+    scale: WorkloadScale = UNIT_SCALE
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.doc_tfs)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.df)
+
+    def resident_bytes(self) -> int:
+        """Modelled memory held by all live dictionaries of this result.
+
+        Extrapolated: the global df dictionary grows with the vocabulary,
+        the per-document dictionaries with the document count.
+        """
+        per_doc = sum(tf.resident_bytes() for tf in self.doc_tfs)
+        return int(
+            self.df.resident_bytes() * self.scale.vocab_factor
+            + per_doc * self.scale.doc_factor
+        )
+
+
+class WordCountStep:
+    """Configurable word-count step (dictionary kind, pre-size, tokenizer)."""
+
+    def __init__(
+        self,
+        dict_kind: str = "map",
+        reserve: int = 4096,
+        tokenizer: Tokenizer | None = None,
+        costs: CostConstants = DEFAULT_COSTS,
+        scale: WorkloadScale = UNIT_SCALE,
+    ) -> None:
+        self.dict_kind = dict_kind
+        self.reserve = reserve
+        self.tokenizer = tokenizer or Tokenizer()
+        self.costs = costs
+        self.scale = scale
+        self._profile: DictCostProfile = profile_for_kind(
+            make_dict(dict_kind, reserve).kind
+        )
+
+    # -- per-document kernel ---------------------------------------------------------
+
+    def count_document(
+        self, text: str, df: Dictionary, cost: TaskCost
+    ) -> tuple[Dictionary, int]:
+        """Count one document into a fresh TF dictionary; update ``df``.
+
+        Returns ``(tf_dict, token_count)`` and accumulates the virtual cost
+        of tokenization and all dictionary operations into ``cost``.
+        """
+        tokenized = self.tokenizer.tokenize(text)
+        cost.cpu_s += (
+            tokenized.bytes_processed * self.costs.tokenize_ns_per_byte
+            + tokenized.n_tokens * self.costs.token_fixed_ns
+        ) * 1e-9
+        cost.mem_bytes += tokenized.bytes_processed * self.costs.tokenize_bytes_per_byte
+
+        tf = make_dict(self.dict_kind, self.reserve)
+        for token in tokenized.tokens:
+            tf.increment(token)
+
+        df_before = df.stats.copy()
+        for term, _ in tf.items():
+            df.increment(term)
+        # Charge the fresh tf dictionary once: its inserts plus the
+        # iteration the df update just performed.
+        self._charge(tf, cost)
+        df_delta = df.stats.delta(df_before)
+        cost.cpu_s += self._profile.cpu_seconds(df_delta)
+        cost.mem_bytes += self._profile.memory_traffic(df_delta)
+        return tf, tokenized.n_tokens
+
+    def _charge(self, dictionary: Dictionary, cost: TaskCost) -> None:
+        """Convert a dictionary's (entire) stats into cost."""
+        cost.cpu_s += self._profile.cpu_seconds(dictionary.stats)
+        cost.mem_bytes += self._profile.memory_traffic(dictionary.stats)
+
+    # -- merge reduction ---------------------------------------------------------------
+
+    def merge_df_pair(
+        self, into: Dictionary, source: Dictionary, cost: TaskCost
+    ) -> Dictionary:
+        """Merge ``source``'s counts into ``into`` (one reduction-tree node)."""
+        into_before = into.stats.copy()
+        source_before = source.stats.copy()
+        for term, count in source.items():
+            into.increment(term, count)
+        for stats, before in ((into.stats, into_before), (source.stats, source_before)):
+            delta = stats.delta(before)
+            cost.cpu_s += self._profile.cpu_seconds(delta)
+            cost.mem_bytes += self._profile.memory_traffic(delta)
+        return into
+
+    # -- simulated execution --------------------------------------------------------------
+
+    def run_simulated(
+        self,
+        scheduler: SimScheduler,
+        storage: Storage,
+        paths: list[str],
+        workers: int | None = None,
+        phase_name: str = PHASE_INPUT_WC,
+    ) -> tuple[WordCountResult, list[PhaseTiming]]:
+        """Execute the word-count phase on the simulated machine.
+
+        Documents are dealt round-robin to ``workers`` private shards
+        (static scheduling of a balanced loop); each shard is one scheduled
+        task whose cost includes its file reads, tokenization and
+        dictionary work. Afterwards the private document-frequency
+        dictionaries are merged pairwise in parallel reduction levels.
+        """
+        T = scheduler.machine.effective_workers(workers)
+        timings: list[PhaseTiming] = []
+
+        shard_costs = [TaskCost() for _ in range(T)]
+        shard_dfs = [make_dict(self.dict_kind, self.reserve) for _ in range(T)]
+        doc_tfs: list[Dictionary | None] = [None] * len(paths)
+        doc_tokens = [0] * len(paths)
+        input_bytes = 0
+
+        for index, path in enumerate(paths):
+            worker = index % T
+            cost = shard_costs[worker]
+            text, read_cost = storage.read(path)
+            cost.add(read_cost)
+            input_bytes += len(text)
+            tf, n_tokens = self.count_document(text, shard_dfs[worker], cost)
+            doc_tfs[index] = tf
+            doc_tokens[index] = n_tokens
+
+        timings.append(
+            scheduler.simulate_phase(
+                [cost.scaled(self.scale.doc_factor) for cost in shard_costs],
+                workers=T,
+                name=phase_name,
+            )
+        )
+
+        # Reduction tree over the worker-private df dictionaries.
+        level = shard_dfs
+        while len(level) > 1:
+            next_level: list[Dictionary] = []
+            merge_costs: list[TaskCost] = []
+            for at in range(0, len(level) - 1, 2):
+                cost = TaskCost()
+                next_level.append(self.merge_df_pair(level[at], level[at + 1], cost))
+                merge_costs.append(cost)
+            if len(level) % 2:
+                next_level.append(level[-1])
+            timings.append(
+                scheduler.simulate_phase(
+                    [cost.scaled(self.scale.vocab_factor) for cost in merge_costs],
+                    workers=T,
+                    name=phase_name,
+                )
+            )
+            level = next_level
+
+        result = WordCountResult(
+            paths=list(paths),
+            doc_tfs=[tf for tf in doc_tfs if tf is not None],
+            doc_token_counts=doc_tokens,
+            df=level[0],
+            dict_kind=self.dict_kind,
+            input_bytes=input_bytes,
+            total_tokens=sum(doc_tokens),
+            scale=self.scale,
+        )
+        return result, timings
+
+    # -- functional execution ---------------------------------------------------------------
+
+    def run(self, texts: list[str]) -> WordCountResult:
+        """Count a list of in-memory texts (no storage, no simulation)."""
+        df = make_dict(self.dict_kind, self.reserve)
+        doc_tfs: list[Dictionary] = []
+        doc_tokens: list[int] = []
+        scratch = TaskCost()
+        for text in texts:
+            tf, n_tokens = self.count_document(text, df, scratch)
+            doc_tfs.append(tf)
+            doc_tokens.append(n_tokens)
+        return WordCountResult(
+            paths=[f"mem-{i}" for i in range(len(texts))],
+            doc_tfs=doc_tfs,
+            doc_token_counts=doc_tokens,
+            df=df,
+            dict_kind=self.dict_kind,
+            input_bytes=sum(len(t) for t in texts),
+            total_tokens=sum(doc_tokens),
+            scale=self.scale,
+        )

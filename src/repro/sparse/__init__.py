@@ -1,0 +1,23 @@
+"""Sparse linear-algebra substrate used by TF/IDF output and K-means."""
+
+from repro.sparse.matrix import CsrMatrix
+from repro.sparse.ops import (
+    cosine_similarity,
+    dense_squared_norm,
+    mean_of_rows,
+    nearest_centroid,
+    scale_dense,
+    zero_dense,
+)
+from repro.sparse.vector import SparseVector
+
+__all__ = [
+    "SparseVector",
+    "CsrMatrix",
+    "cosine_similarity",
+    "dense_squared_norm",
+    "mean_of_rows",
+    "nearest_centroid",
+    "scale_dense",
+    "zero_dense",
+]

@@ -1,0 +1,99 @@
+"""Compressed sparse row document-term matrix.
+
+The TF/IDF operator's output — one sparse vector per document — is held in
+CSR form so the whole corpus representation is three flat arrays. Rows are
+cheap views, which is what lets the fused workflow hand the TF/IDF scores
+to K-means without any serialization (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import OperatorError
+from repro.sparse.vector import SparseVector
+
+__all__ = ["CsrMatrix"]
+
+
+class CsrMatrix:
+    """Row-major sparse matrix: ``indptr``, ``indices``, ``data``."""
+
+    def __init__(
+        self,
+        indptr: list[int],
+        indices: list[int],
+        data: list[float],
+        n_cols: int,
+    ) -> None:
+        if not indptr or indptr[0] != 0:
+            raise OperatorError("indptr must start with 0")
+        if indptr[-1] != len(indices) or len(indices) != len(data):
+            raise OperatorError("indptr/indices/data lengths are inconsistent")
+        if any(b < a for a, b in zip(indptr, indptr[1:])):
+            raise OperatorError("indptr must be non-decreasing")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.n_cols = n_cols
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[SparseVector], n_cols: int | None = None
+    ) -> "CsrMatrix":
+        """Pack sparse vectors into CSR; infers ``n_cols`` when omitted."""
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        max_index = -1
+        for row in rows:
+            indices.extend(row.indices)
+            data.extend(row.values)
+            indptr.append(len(indices))
+            if row.indices:
+                max_index = max(max_index, row.indices[-1])
+        if n_cols is None:
+            n_cols = max_index + 1
+        elif max_index >= n_cols:
+            raise OperatorError(
+                f"row index {max_index} out of range for n_cols={n_cols}"
+            )
+        return cls(indptr, indices, data, n_cols)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (documents)."""
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries across all rows."""
+        return len(self.data)
+
+    def row(self, i: int) -> SparseVector:
+        """Materialise row ``i`` as a :class:`SparseVector`."""
+        if not 0 <= i < self.n_rows:
+            raise OperatorError(f"row {i} out of range [0, {self.n_rows})")
+        start, end = self.indptr[i], self.indptr[i + 1]
+        vector = SparseVector.__new__(SparseVector)
+        vector.indices = self.indices[start:end]
+        vector.values = self.data[start:end]
+        return vector
+
+    def row_nnz(self, i: int) -> int:
+        """Number of stored entries in row ``i`` without materialising it."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def iter_rows(self) -> Iterator[SparseVector]:
+        """Yield every row as a :class:`SparseVector`, in order."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def resident_bytes(self) -> int:
+        """Modelled footprint: 8-byte values, 4-byte indices and offsets."""
+        return 8 * len(self.data) + 4 * len(self.indices) + 4 * len(self.indptr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CsrMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz})"
+        )

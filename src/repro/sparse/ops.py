@@ -1,0 +1,81 @@
+"""Free-function kernels over sparse vectors and dense buffers.
+
+These are the numeric inner loops of the K-means operator, kept separate
+from the vector class so the operator and the baselines can share them and
+so the cost model has one place to meter (flops per kernel call).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sparse.vector import SparseVector
+
+__all__ = [
+    "dense_squared_norm",
+    "scale_dense",
+    "zero_dense",
+    "cosine_similarity",
+    "nearest_centroid",
+    "mean_of_rows",
+]
+
+
+def dense_squared_norm(dense: Sequence[float]) -> float:
+    """Sum of squares of a dense buffer."""
+    return sum(v * v for v in dense)
+
+
+def scale_dense(dense, factor: float) -> None:
+    """Multiply a mutable dense buffer by ``factor`` in place."""
+    for i in range(len(dense)):
+        dense[i] *= factor
+
+
+def zero_dense(dense) -> None:
+    """Clear a mutable dense buffer in place (recycling, not reallocating)."""
+    for i in range(len(dense)):
+        dense[i] = 0.0
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine of the angle between two sparse vectors (0 for zero vectors)."""
+    denom = a.norm() * b.norm()
+    if denom == 0.0:
+        return 0.0
+    return a.dot(b) / denom
+
+
+def nearest_centroid(
+    vector: SparseVector,
+    centroids: Sequence[Sequence[float]],
+    centroid_sq_norms: Sequence[float],
+) -> tuple[int, float]:
+    """Index and squared distance of the closest dense centroid.
+
+    ``centroid_sq_norms`` must hold the precomputed squared norms so each
+    candidate costs O(nnz). Ties resolve to the lowest index, which keeps
+    assignments deterministic.
+    """
+    best_index = 0
+    best_distance = vector.squared_distance_to_dense(
+        centroids[0], centroid_sq_norms[0]
+    )
+    for k in range(1, len(centroids)):
+        distance = vector.squared_distance_to_dense(
+            centroids[k], centroid_sq_norms[k]
+        )
+        if distance < best_distance:
+            best_index = k
+            best_distance = distance
+    return best_index, best_distance
+
+
+def mean_of_rows(rows: Sequence[SparseVector], size: int) -> list[float]:
+    """Dense mean of sparse rows (used by tests and the dense baseline)."""
+    buffer = [0.0] * size
+    for row in rows:
+        row.add_into_dense(buffer)
+    if rows:
+        scale_dense(buffer, 1.0 / len(rows))
+    return buffer

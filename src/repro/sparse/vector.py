@@ -1,0 +1,196 @@
+"""Sparse vectors sorted by term id.
+
+The paper's K-means implementation owes much of its speed to "using sparse
+vectors to represent inherently sparse data" (§3.1): a document touches a
+few hundred of the several hundred thousand vocabulary terms, so distance
+computations must cost O(nnz), not O(|vocabulary|).
+
+A :class:`SparseVector` stores parallel ``indices``/``values`` lists with
+indices strictly increasing — the same layout the TF/IDF operator needs for
+ARFF output ("sorted by term IDs", §3.2), so the representation is shared
+across the whole workflow without conversion.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import OperatorError
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """Immutable-by-convention sparse vector keyed by integer term ids."""
+
+    __slots__ = ("indices", "values")
+
+    def __init__(
+        self, indices: Sequence[int] = (), values: Sequence[float] = ()
+    ) -> None:
+        if len(indices) != len(values):
+            raise OperatorError(
+                f"indices/values length mismatch: {len(indices)} != {len(values)}"
+            )
+        if any(b <= a for a, b in zip(indices, indices[1:])):
+            raise OperatorError("indices must be strictly increasing")
+        self.indices = list(indices)
+        self.values = list(values)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "SparseVector":
+        """Build from (index, value) pairs; duplicates are summed, zeros kept."""
+        accumulator: dict[int, float] = {}
+        for index, value in pairs:
+            accumulator[index] = accumulator.get(index, 0.0) + value
+        ordered = sorted(accumulator.items())
+        return cls([i for i, _ in ordered], [v for _, v in ordered])
+
+    @classmethod
+    def from_dict(cls, mapping: dict[int, float]) -> "SparseVector":
+        """Build from an index → value mapping."""
+        ordered = sorted(mapping.items())
+        return cls([i for i, _ in ordered], [v for _, v in ordered])
+
+    @classmethod
+    def from_dense(cls, dense: Sequence[float]) -> "SparseVector":
+        """Build from a dense sequence, dropping exact zeros."""
+        indices = [i for i, v in enumerate(dense) if v != 0.0]
+        return cls(indices, [dense[i] for i in indices])
+
+    # -- basic protocol -------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return len(self.indices)
+
+    def get(self, index: int) -> float:
+        """Value at ``index`` (0.0 when absent), via binary search."""
+        pos = bisect_left(self.indices, index)
+        if pos < len(self.indices) and self.indices[pos] == index:
+            return self.values[pos]
+        return 0.0
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Iterate over (index, value) pairs in index order."""
+        return zip(self.indices, self.values)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self.indices == other.indices and self.values == other.values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(
+            f"{i}:{v:.4g}" for i, v in list(self.items())[:4]
+        )
+        suffix = ", ..." if self.nnz > 4 else ""
+        return f"SparseVector({head}{suffix} nnz={self.nnz})"
+
+    # -- math ---------------------------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """Sparse-sparse dot product by merge join (O(nnz_a + nnz_b))."""
+        result = 0.0
+        a, b = self, other
+        i = j = 0
+        ai, av, bi, bv = a.indices, a.values, b.indices, b.values
+        while i < len(ai) and j < len(bi):
+            if ai[i] == bi[j]:
+                result += av[i] * bv[j]
+                i += 1
+                j += 1
+            elif ai[i] < bi[j]:
+                i += 1
+            else:
+                j += 1
+        return result
+
+    def dot_dense(self, dense: Sequence[float]) -> float:
+        """Dot with a dense array in O(nnz); ids beyond the array contribute 0."""
+        limit = len(dense)
+        return sum(
+            value * dense[index]
+            for index, value in zip(self.indices, self.values)
+            if index < limit
+        )
+
+    def squared_norm(self) -> float:
+        """Sum of squared values (L2 norm squared)."""
+        return sum(v * v for v in self.values)
+
+    def norm(self) -> float:
+        """Euclidean (L2) norm."""
+        return self.squared_norm() ** 0.5
+
+    def scale(self, factor: float) -> "SparseVector":
+        """New vector with every value multiplied by ``factor``."""
+        return SparseVector(list(self.indices), [v * factor for v in self.values])
+
+    def normalized(self) -> "SparseVector":
+        """Unit-L2 copy; the zero vector normalises to itself."""
+        norm = self.norm()
+        if norm == 0.0:
+            return SparseVector(list(self.indices), list(self.values))
+        return self.scale(1.0 / norm)
+
+    def add(self, other: "SparseVector") -> "SparseVector":
+        """Element-wise sum via merge join."""
+        out_i: list[int] = []
+        out_v: list[float] = []
+        i = j = 0
+        ai, av, bi, bv = self.indices, self.values, other.indices, other.values
+        while i < len(ai) or j < len(bi):
+            if j >= len(bi) or (i < len(ai) and ai[i] < bi[j]):
+                out_i.append(ai[i])
+                out_v.append(av[i])
+                i += 1
+            elif i >= len(ai) or bi[j] < ai[i]:
+                out_i.append(bi[j])
+                out_v.append(bv[j])
+                j += 1
+            else:
+                out_i.append(ai[i])
+                out_v.append(av[i] + bv[j])
+                i += 1
+                j += 1
+        return SparseVector(out_i, out_v)
+
+    def add_into_dense(self, dense, weight: float = 1.0) -> None:
+        """Accumulate ``weight * self`` into a mutable dense buffer in place.
+
+        This is the K-means centroid-accumulation kernel; the buffer is
+        recycled across iterations (paper §3.1: "we do not create new
+        objects during the iterations").
+        """
+        for index, value in zip(self.indices, self.values):
+            dense[index] += weight * value
+
+    def squared_distance_to_dense(
+        self, dense: Sequence[float], dense_sq_norm: float
+    ) -> float:
+        """||self - dense||² in O(nnz), given the dense vector's squared norm.
+
+        Expands to ``||x||² - 2·x·c + ||c||²``; only the dot needs the
+        sparse entries, so precomputing ``||c||²`` once per centroid per
+        iteration keeps assignment cost proportional to document nnz.
+        """
+        return self.squared_norm() - 2.0 * self.dot_dense(dense) + dense_sq_norm
+
+    def to_dense(self, size: int) -> list[float]:
+        """Materialise as a dense list of the given length."""
+        if self.indices and self.indices[-1] >= size:
+            raise OperatorError(
+                f"vector has index {self.indices[-1]} >= requested size {size}"
+            )
+        dense = [0.0] * size
+        for index, value in zip(self.indices, self.values):
+            dense[index] = value
+        return dense

@@ -1,0 +1,46 @@
+"""Text substrate: tokenization, corpora and synthetic data generation."""
+
+from repro.text.analysis import (
+    HeapsFit,
+    fit_heaps,
+    profile_from_corpus,
+    vocabulary_growth,
+    zipf_profile,
+)
+from repro.text.corpus import Corpus, CorpusStats, Document
+from repro.text.normalize import fold_text, is_word_char
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.synth import (
+    MIX_PROFILE,
+    NSF_ABSTRACTS_PROFILE,
+    CorpusProfile,
+    generate_corpus,
+    generate_document_text,
+    heaps_vocabulary,
+    synth_word,
+)
+from repro.text.tokenizer import TokenizedDocument, Tokenizer
+
+__all__ = [
+    "Corpus",
+    "CorpusStats",
+    "Document",
+    "Tokenizer",
+    "TokenizedDocument",
+    "fold_text",
+    "is_word_char",
+    "ENGLISH_STOPWORDS",
+    "is_stopword",
+    "CorpusProfile",
+    "MIX_PROFILE",
+    "NSF_ABSTRACTS_PROFILE",
+    "generate_corpus",
+    "generate_document_text",
+    "heaps_vocabulary",
+    "synth_word",
+    "HeapsFit",
+    "fit_heaps",
+    "vocabulary_growth",
+    "zipf_profile",
+    "profile_from_corpus",
+]

@@ -1,0 +1,129 @@
+"""Corpus statistics: Heaps'-law fitting and Zipf rank profiles.
+
+The reproduction's synthetic corpora are generated *from* a Heaps curve
+and a Zipf-like rank distribution; this module goes the other way — given
+any corpus (synthetic or real), it measures vocabulary growth and the
+frequency-rank profile and fits the generator's parameters. Used by the
+Table 1 benchmark to verify the generator and by users who want to build
+a :class:`~repro.text.synth.CorpusProfile` for their own data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import OperatorError
+from repro.text.corpus import Corpus
+from repro.text.synth import CorpusProfile
+from repro.text.tokenizer import Tokenizer
+
+__all__ = [
+    "HeapsFit",
+    "vocabulary_growth",
+    "fit_heaps",
+    "zipf_profile",
+    "profile_from_corpus",
+]
+
+
+@dataclass(frozen=True)
+class HeapsFit:
+    """Fitted Heaps'-law parameters ``V(N) = k * N**beta``."""
+
+    k: float
+    beta: float
+    #: Coefficient of determination of the log-log regression.
+    r_squared: float
+
+    def predict(self, n_tokens: float) -> float:
+        """Expected vocabulary after ``n_tokens`` tokens."""
+        if n_tokens <= 0:
+            return 0.0
+        return self.k * n_tokens**self.beta
+
+
+def vocabulary_growth(
+    corpus: Corpus, tokenizer: Tokenizer | None = None, points: int = 32
+) -> list[tuple[int, int]]:
+    """(tokens seen, distinct words) samples along one corpus pass."""
+    if not len(corpus):
+        raise OperatorError("cannot analyse an empty corpus")
+    tokenizer = tokenizer or Tokenizer()
+    vocabulary: set[str] = set()
+    samples: list[tuple[int, int]] = []
+    total = 0
+    docs_per_point = max(1, len(corpus) // points)
+    for index, doc in enumerate(corpus):
+        tokens = tokenizer.tokens(doc.text)
+        total += len(tokens)
+        vocabulary.update(tokens)
+        if index % docs_per_point == docs_per_point - 1 or index == len(corpus) - 1:
+            samples.append((total, len(vocabulary)))
+    return samples
+
+
+def fit_heaps(
+    corpus: Corpus, tokenizer: Tokenizer | None = None, points: int = 32
+) -> HeapsFit:
+    """Least-squares fit of Heaps' law in log-log space."""
+    samples = [
+        (n, v) for n, v in vocabulary_growth(corpus, tokenizer, points) if n > 0 and v > 0
+    ]
+    if len(samples) < 2:
+        raise OperatorError("need at least two growth samples to fit Heaps' law")
+    xs = [math.log(n) for n, _ in samples]
+    ys = [math.log(v) for _, v in samples]
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise OperatorError("degenerate growth curve (all samples equal)")
+    beta = sxy / sxx
+    intercept = mean_y - beta * mean_x
+    predictions = [intercept + beta * x for x in xs]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return HeapsFit(k=math.exp(intercept), beta=beta, r_squared=r_squared)
+
+
+def zipf_profile(
+    corpus: Corpus, tokenizer: Tokenizer | None = None, top: int = 100
+) -> list[tuple[int, int]]:
+    """(rank, frequency) pairs for the corpus's ``top`` most common terms."""
+    tokenizer = tokenizer or Tokenizer()
+    counts: dict[str, int] = {}
+    for doc in corpus:
+        for token in tokenizer.tokens(doc.text):
+            counts[token] = counts.get(token, 0) + 1
+    if not counts:
+        raise OperatorError("corpus has no tokens")
+    ranked = sorted(counts.values(), reverse=True)[:top]
+    return list(enumerate(ranked, start=1))
+
+
+def profile_from_corpus(
+    corpus: Corpus,
+    tokenizer: Tokenizer | None = None,
+    name: str | None = None,
+) -> CorpusProfile:
+    """Build a generator profile matching a measured corpus.
+
+    The returned profile generates synthetic corpora with the same
+    document count, document length and vocabulary-growth behaviour —
+    useful for scaling a private data set up or down for what-if studies.
+    """
+    stats = corpus.stats(tokenizer or Tokenizer())
+    fit = fit_heaps(corpus, tokenizer)
+    return CorpusProfile(
+        name=name or f"fitted-{corpus.name}",
+        n_docs=stats.documents,
+        mean_doc_tokens=max(1, round(stats.mean_tokens_per_doc)),
+        heaps_k=fit.k,
+        heaps_beta=min(0.99, max(0.01, fit.beta)),
+        paper_documents=stats.documents,
+        paper_bytes=stats.total_bytes,
+        paper_distinct_words=stats.distinct_words,
+    )

@@ -1,0 +1,104 @@
+"""Document and corpus model.
+
+A :class:`Corpus` is the in-memory form of a directory of text files — the
+input of the TF/IDF operator. It also carries the summary statistics the
+paper reports in Table 1 (documents, bytes, distinct words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import OperatorError
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["Document", "Corpus", "CorpusStats"]
+
+
+@dataclass
+class Document:
+    """One text document."""
+
+    doc_id: int
+    name: str
+    text: str
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the document's raw text in bytes (UTF-8 length ~ ASCII)."""
+        return len(self.text)
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Table 1 summary of a corpus."""
+
+    documents: int
+    total_bytes: int
+    distinct_words: int
+    total_tokens: int
+
+    @property
+    def mean_bytes_per_doc(self) -> float:
+        return self.total_bytes / self.documents if self.documents else 0.0
+
+    @property
+    def mean_tokens_per_doc(self) -> float:
+        return self.total_tokens / self.documents if self.documents else 0.0
+
+
+@dataclass
+class Corpus:
+    """Ordered collection of documents."""
+
+    name: str
+    documents: list[Document] = field(default_factory=list)
+
+    def add(self, name: str, text: str) -> Document:
+        """Append a document, assigning the next id."""
+        doc = Document(doc_id=len(self.documents), name=name, text=text)
+        self.documents.append(doc)
+        return doc
+
+    @classmethod
+    def from_texts(cls, name: str, texts: Iterable[str]) -> "Corpus":
+        """Build a corpus from raw strings, naming documents ``doc-NNNNNN``."""
+        corpus = cls(name=name)
+        for i, text in enumerate(texts):
+            corpus.add(f"doc-{i:06d}", text)
+        return corpus
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self.documents[index]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total raw text size of the corpus in bytes."""
+        return sum(doc.n_bytes for doc in self.documents)
+
+    def stats(self, tokenizer: Tokenizer | None = None) -> CorpusStats:
+        """Compute the Table 1 statistics by a full tokenization pass."""
+        if not self.documents:
+            raise OperatorError(f"corpus {self.name!r} is empty")
+        tokenizer = tokenizer or Tokenizer()
+        vocabulary: set[str] = set()
+        total_tokens = 0
+        total_bytes = 0
+        for doc in self.documents:
+            tokenized = tokenizer.tokenize(doc.text)
+            vocabulary.update(tokenized.tokens)
+            total_tokens += tokenized.n_tokens
+            total_bytes += tokenized.bytes_processed
+        return CorpusStats(
+            documents=len(self.documents),
+            total_bytes=total_bytes,
+            distinct_words=len(vocabulary),
+            total_tokens=total_tokens,
+        )

@@ -1,0 +1,50 @@
+"""Character-level normalization used by the tokenizer.
+
+Keeps the pipeline honest about what a "word" is: case-folded runs of
+letters and digits, with everything else acting as a separator. The
+translation table is built once at import time; per-call work is a single
+``str.translate`` pass, which is the cheapest full scan CPython offers and
+maps naturally onto the simulator's bytes-processed cost metric.
+"""
+
+from __future__ import annotations
+
+__all__ = ["fold_text", "is_word_char"]
+
+_TABLE = {}
+for code in range(256):
+    char = chr(code)
+    if char.isalnum():
+        _TABLE[code] = char.lower()
+    elif char == "'":
+        # Keep intra-word apostrophes out: don't -> dont, matching common
+        # analytics tokenizers.
+        _TABLE[code] = None
+    else:
+        _TABLE[code] = " "
+
+
+def fold_text(text: str) -> str:
+    """Lowercase ``text`` and replace every non-alphanumeric with a space.
+
+    Non-Latin-1 characters are treated as separators so that downstream
+    token streams contain only predictable ASCII-ish words.
+    """
+    return text.translate(_TABLE) if text.isascii() else _fold_slow(text)
+
+
+def _fold_slow(text: str) -> str:
+    chars = []
+    for char in text:
+        if char.isascii() and char.isalnum():
+            chars.append(char.lower())
+        elif char == "'":
+            continue
+        else:
+            chars.append(" ")
+    return "".join(chars)
+
+
+def is_word_char(char: str) -> bool:
+    """True when the character survives folding as part of a word."""
+    return char.isascii() and char.isalnum()

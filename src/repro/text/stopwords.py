@@ -1,0 +1,32 @@
+"""Default English stop-word list.
+
+TF/IDF already down-weights ubiquitous terms, so stopping is optional in
+this library (the paper's operator does not mention stopping either); the
+list is provided for the examples and for users who want smaller
+vocabularies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ENGLISH_STOPWORDS", "is_stopword"]
+
+ENGLISH_STOPWORDS = frozenset(
+    """
+    a about above after again against all am an and any are arent as at be
+    because been before being below between both but by cant cannot could
+    couldnt did didnt do does doesnt doing dont down during each few for from
+    further had hadnt has hasnt have havent having he her here hers herself
+    him himself his how i if in into is isnt it its itself lets me more most
+    mustnt my myself no nor not of off on once only or other ought our ours
+    ourselves out over own same shant she should shouldnt so some such than
+    that the their theirs them themselves then there these they this those
+    through to too under until up very was wasnt we were werent what when
+    where which while who whom why with wont would wouldnt you your yours
+    yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (already folded) is an English stop word."""
+    return token in ENGLISH_STOPWORDS

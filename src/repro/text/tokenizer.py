@@ -1,0 +1,67 @@
+"""Document tokenizer with work metering.
+
+Tokenization is half of the TF/IDF operator's phase 1 ("data input,
+tokenization and hash table operations", §3.2). The tokenizer therefore
+reports how many bytes and tokens it processed, which the operator converts
+into simulated CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.normalize import fold_text
+from repro.text.stopwords import is_stopword
+
+__all__ = ["Tokenizer", "TokenizedDocument"]
+
+
+@dataclass
+class TokenizedDocument:
+    """Token stream of one document plus the work needed to produce it."""
+
+    tokens: list[str]
+    bytes_processed: int
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.tokens)
+
+
+class Tokenizer:
+    """Splits raw text into folded word tokens.
+
+    Parameters
+    ----------
+    drop_stopwords:
+        Remove common English words from the stream.
+    min_length / max_length:
+        Discard tokens outside these length bounds. ``max_length`` guards
+        against pathological unbroken runs (base64 blobs, URLs).
+    """
+
+    def __init__(
+        self,
+        drop_stopwords: bool = False,
+        min_length: int = 1,
+        max_length: int = 64,
+    ) -> None:
+        self.drop_stopwords = drop_stopwords
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def tokenize(self, text: str) -> TokenizedDocument:
+        """Tokenize ``text``, reporting bytes processed for cost accounting."""
+        folded = fold_text(text)
+        raw = folded.split()
+        tokens = [
+            token
+            for token in raw
+            if self.min_length <= len(token) <= self.max_length
+            and not (self.drop_stopwords and is_stopword(token))
+        ]
+        return TokenizedDocument(tokens=tokens, bytes_processed=len(text))
+
+    def tokens(self, text: str) -> list[str]:
+        """Convenience: tokenize and return only the token list."""
+        return self.tokenize(text).tokens

@@ -1,0 +1,212 @@
+"""Unit and property tests for the B-tree map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dicts import BTreeMap, make_dict
+from repro.dicts.btree import DEFAULT_ORDER
+from repro.errors import ConfigurationError
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        tree = BTreeMap()
+        assert len(tree) == 0
+        assert tree.get("x") is None
+
+    def test_put_get_roundtrip(self):
+        tree = BTreeMap(order=3)
+        for i in range(200):
+            tree.put(i, i * 10)
+        for i in range(200):
+            assert tree.get(i) == i * 10
+        assert len(tree) == 200
+
+    def test_overwrite(self):
+        tree = BTreeMap(order=2)
+        tree.put("k", 1)
+        tree.put("k", 2)
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+
+    def test_overwrite_key_promoted_to_internal_node(self):
+        tree = BTreeMap(order=2)
+        for i in range(30):
+            tree.put(i, i)
+        # Overwrite every key, including ones living in internal nodes.
+        for i in range(30):
+            tree.put(i, i + 100)
+        for i in range(30):
+            assert tree.get(i) == i + 100
+        assert len(tree) == 30
+        tree.check_invariants()
+
+    def test_contains(self):
+        tree = BTreeMap(order=2)
+        tree.put(5, None)
+        assert 5 in tree
+        assert 6 not in tree
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            BTreeMap(order=1)
+
+    def test_clear(self):
+        tree = BTreeMap(order=2)
+        for i in range(50):
+            tree.put(i, i)
+        tree.clear()
+        assert len(tree) == 0
+        tree.put(1, "again")
+        assert tree.get(1) == "again"
+
+    def test_increment(self):
+        tree = BTreeMap()
+        tree.increment("word")
+        tree.increment("word", 4)
+        assert tree.get("word") == 5
+
+
+class TestOrderedBehaviour:
+    def test_items_sorted_order(self):
+        tree = BTreeMap(order=2)
+        for key in [9, 3, 7, 1, 5, 8, 2, 6, 4, 0]:
+            tree.put(key, key)
+        assert [k for k, _ in tree.items()] == list(range(10))
+
+    def test_items_sorted_is_free_walk(self):
+        tree = BTreeMap(order=3)
+        for key in ["pear", "apple", "fig"]:
+            tree.put(key, 1)
+        assert [k for k, _ in tree.items_sorted()] == ["apple", "fig", "pear"]
+
+
+class TestRemoval:
+    def test_remove_leaf_key(self):
+        tree = BTreeMap(order=2)
+        for i in range(20):
+            tree.put(i, i)
+        assert tree.remove(13)
+        assert 13 not in tree
+        assert len(tree) == 19
+        tree.check_invariants()
+
+    def test_remove_absent(self):
+        tree = BTreeMap(order=2)
+        tree.put(1, 1)
+        assert tree.remove(99) is False
+        assert len(tree) == 1
+
+    def test_remove_all(self):
+        tree = BTreeMap(order=2)
+        keys = [(i * 37) % 101 for i in range(101)]
+        for key in keys:
+            tree.put(key, key)
+        for key in sorted(set(keys)):
+            assert tree.remove(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_interleaved_ops_keep_invariants(self):
+        tree = BTreeMap(order=2)
+        for i in range(300):
+            tree.put((i * 53) % 127, i)
+            if i % 3 == 0:
+                tree.remove((i * 29) % 127)
+            tree.check_invariants()
+
+
+class TestInstrumentation:
+    def test_probes_counted_per_node_visit(self):
+        tree = BTreeMap(order=16)
+        for i in range(1000):
+            tree.put(i, i)
+        before = tree.stats.copy()
+        tree.get(777)
+        delta = tree.stats.delta(before)
+        # 1000 keys at order 16 is a very shallow tree: few node visits.
+        assert 1 <= delta.probes <= 4
+
+    def test_fewer_pointer_chases_than_red_black_tree(self):
+        """The design point: O(log_B n) node visits vs O(log2 n)."""
+        from repro.dicts import TreeMap
+
+        btree, rbtree = BTreeMap(order=16), TreeMap()
+        for i in range(4096):
+            btree.put(i, i)
+            rbtree.put(i, i)
+        b_before, r_before = btree.stats.copy(), rbtree.stats.copy()
+        for probe in range(0, 4096, 64):
+            btree.get(probe)
+            rbtree.get(probe)
+        b_visits = btree.stats.delta(b_before).probes
+        r_visits = rbtree.stats.delta(r_before).comparisons
+        assert b_visits * 3 < r_visits
+
+    def test_split_moves_counted(self):
+        tree = BTreeMap(order=2)
+        for i in range(100):
+            tree.put(i, i)
+        assert tree.stats.rehash_moves > 0
+
+    def test_resident_bytes_grow_with_nodes(self):
+        small, large = BTreeMap(order=2), BTreeMap(order=2)
+        large_keys = 500
+        for i in range(large_keys):
+            large.put(i, i)
+        small.put(1, 1)
+        assert large.resident_bytes() > small.resident_bytes()
+
+    def test_factory_and_profile_registered(self):
+        from repro.dicts import BTREE_PROFILE, available_kinds, profile_for_kind
+
+        assert "btree" in available_kinds()
+        assert isinstance(make_dict("btree"), BTreeMap)
+        assert profile_for_kind("btree") is BTREE_PROFILE
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "remove"]),
+                st.integers(-30, 30),
+                st.integers(0, 100),
+            ),
+            max_size=150,
+        ),
+        st.integers(2, 6),
+    )
+    def test_matches_model_dict(self, operations, order):
+        tree = BTreeMap(order=order)
+        model = {}
+        for op, key, value in operations:
+            if op == "put":
+                tree.put(key, value)
+                model[key] = value
+            else:
+                assert tree.remove(key) == (key in model)
+                model.pop(key, None)
+        assert tree.to_dict() == model
+        assert len(tree) == len(model)
+        tree.check_invariants()
+
+    @given(st.lists(st.text(max_size=5), max_size=80))
+    def test_agrees_with_other_structures_on_counting(self, words):
+        from repro.dicts import HashMap, TreeMap
+
+        btree, rbtree, table = BTreeMap(order=3), TreeMap(), HashMap(reserve=4)
+        for word in words:
+            btree.increment(word)
+            rbtree.increment(word)
+            table.increment(word)
+        assert btree.items_sorted() == rbtree.items_sorted() == table.items_sorted()
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_iteration_sorted(self, keys):
+        tree = BTreeMap(order=4)
+        for key in keys:
+            tree.put(key, None)
+        walked = [k for k, _ in tree.items()]
+        assert walked == sorted(set(keys))

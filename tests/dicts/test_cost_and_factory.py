@@ -1,0 +1,147 @@
+"""Tests for dictionary cost profiles, the counting adapter and the factory."""
+
+import pytest
+
+from repro.dicts import (
+    BUILTIN_PROFILE,
+    HASHMAP_PROFILE,
+    TREEMAP_PROFILE,
+    BuiltinDict,
+    CountingDict,
+    HashMap,
+    OpStats,
+    TreeMap,
+    available_kinds,
+    count_tokens,
+    make_dict,
+    profile_for_kind,
+    register_dict_kind,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCostProfiles:
+    def test_profile_lookup_by_kind(self):
+        assert profile_for_kind("map") is TREEMAP_PROFILE
+        assert profile_for_kind("unordered_map") is HASHMAP_PROFILE
+        assert profile_for_kind("dict") is BUILTIN_PROFILE
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            profile_for_kind("splay_tree")
+
+    def test_empty_stats_cost_zero(self):
+        stats = OpStats()
+        for profile in (TREEMAP_PROFILE, HASHMAP_PROFILE):
+            assert profile.cpu_seconds(stats) == 0.0
+            assert profile.memory_traffic(stats) == 0
+
+    def test_tree_cost_driven_by_comparisons(self):
+        stats = OpStats(comparisons=1000)
+        assert TREEMAP_PROFILE.cpu_seconds(stats) == pytest.approx(
+            1000 * TREEMAP_PROFILE.comparison_ns * 1e-9
+        )
+        # Probes never occur on a tree; its profile must not charge them.
+        assert TREEMAP_PROFILE.probe_ns == 0.0
+
+    def test_hash_cost_driven_by_probes_and_rehashes(self):
+        stats = OpStats(probes=1000, rehash_moves=100)
+        expected = (
+            1000 * HASHMAP_PROFILE.probe_ns + 100 * HASHMAP_PROFILE.rehash_move_ns
+        ) * 1e-9
+        assert HASHMAP_PROFILE.cpu_seconds(stats) == pytest.approx(expected)
+
+    def test_hash_memory_traffic_exceeds_tree_per_event(self):
+        # The sparse-array effect: a probe streams more DRAM than a tree
+        # comparison touches.
+        assert HASHMAP_PROFILE.bytes_per_probe > TREEMAP_PROFILE.bytes_per_comparison
+
+    def test_real_workload_costs_are_positive(self):
+        table = HashMap(reserve=8)
+        for i in range(500):
+            table.increment(i % 50)
+        cpu = HASHMAP_PROFILE.cpu_seconds(table.stats)
+        mem = HASHMAP_PROFILE.memory_traffic(table.stats)
+        assert cpu > 0
+        assert mem > 0
+
+    def test_stats_merge(self):
+        a = OpStats(inserts=2, probes=5)
+        b = OpStats(inserts=3, lookups=1)
+        a.merge(b)
+        assert a.inserts == 5
+        assert a.probes == 5
+        assert a.lookups == 1
+
+    def test_total_ops(self):
+        stats = OpStats(inserts=1, updates=2, lookups=3)
+        assert stats.total_ops == 6
+
+
+class TestCountingDict:
+    def test_count_all(self):
+        counter = CountingDict(TreeMap())
+        n = counter.count_all(["a", "b", "a", "c", "a"])
+        assert n == 5
+        assert counter.get("a") == 3
+        assert counter.get("b") == 1
+        assert counter.get("missing") == 0
+
+    def test_merge_counts(self):
+        left = CountingDict(TreeMap())
+        right = CountingDict(HashMap())
+        left.count_all(["x", "y"])
+        right.count_all(["y", "z"])
+        left.merge_counts(right)
+        assert left.get("x") == 1
+        assert left.get("y") == 2
+        assert left.get("z") == 1
+
+    def test_total(self):
+        counter = CountingDict(BuiltinDict())
+        counter.count_all("a b c a".split())
+        assert counter.total() == 4
+
+    def test_kind_passthrough(self):
+        assert CountingDict(TreeMap()).kind == "map"
+        assert CountingDict(HashMap()).kind == "unordered_map"
+
+    def test_count_tokens_helper(self):
+        backing = TreeMap()
+        assert count_tokens(iter(["a", "a", "b"]), backing) == 3
+        assert backing.get("a") == 2
+
+
+class TestFactory:
+    def test_available_kinds(self):
+        kinds = available_kinds()
+        assert {"map", "unordered_map", "dict"} <= set(kinds)
+
+    def test_make_each_kind(self):
+        assert isinstance(make_dict("map"), TreeMap)
+        assert isinstance(make_dict("unordered_map"), HashMap)
+        assert isinstance(make_dict("dict"), BuiltinDict)
+
+    def test_reserve_passed_to_hashmap(self):
+        small = make_dict("unordered_map", reserve=8)
+        large = make_dict("unordered_map", reserve=4096)
+        assert large.capacity > small.capacity
+
+    def test_unknown_kind_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            make_dict("splay_tree")
+
+    def test_register_custom_kind(self):
+        register_dict_kind("custom-test", lambda reserve: BuiltinDict())
+        try:
+            assert isinstance(make_dict("custom-test"), BuiltinDict)
+            assert "custom-test" in available_kinds()
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.dicts import factory
+
+            del factory._REGISTRY["custom-test"]
+
+    def test_register_empty_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_dict_kind("", lambda reserve: BuiltinDict())

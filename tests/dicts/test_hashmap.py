@@ -1,0 +1,183 @@
+"""Unit tests for the open-addressing hash map."""
+
+import pytest
+
+from repro.dicts import HashMap
+from repro.dicts.hashmap import MAX_LOAD_FACTOR, SLOT_BYTES
+from repro.errors import ConfigurationError
+
+
+class TestBasicOperations:
+    def test_empty_map(self):
+        table = HashMap()
+        assert len(table) == 0
+        assert table.get("x") is None
+
+    def test_put_then_get(self):
+        table = HashMap()
+        table.put("alpha", 1)
+        assert table.get("alpha") == 1
+        assert len(table) == 1
+
+    def test_put_overwrites(self):
+        table = HashMap()
+        table.put("k", 1)
+        table.put("k", 2)
+        assert table.get("k") == 2
+        assert len(table) == 1
+
+    def test_contains(self):
+        table = HashMap()
+        table.put(5, "five")
+        assert 5 in table
+        assert 6 not in table
+
+    def test_many_keys_roundtrip(self):
+        table = HashMap(reserve=8)
+        for i in range(5000):
+            table.put(f"key-{i}", i)
+        for i in range(0, 5000, 97):
+            assert table.get(f"key-{i}") == i
+        assert len(table) == 5000
+
+    def test_clear_resets_capacity(self):
+        table = HashMap(reserve=8)
+        for i in range(1000):
+            table.put(i, i)
+        grown = table.capacity
+        table.clear()
+        assert len(table) == 0
+        assert table.capacity < grown
+        table.put("again", 1)
+        assert table.get("again") == 1
+
+    def test_invalid_reserve_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashMap(reserve=0)
+
+    def test_falsy_values(self):
+        table = HashMap()
+        table.put("zero", 0)
+        assert table.get("zero") == 0
+        assert "zero" in table
+
+
+class TestRemoval:
+    def test_remove_present(self):
+        table = HashMap()
+        table.put("a", 1)
+        assert table.remove("a") is True
+        assert "a" not in table
+        assert len(table) == 0
+
+    def test_remove_absent(self):
+        table = HashMap()
+        assert table.remove("a") is False
+
+    def test_reinsert_after_remove_uses_tombstone(self):
+        table = HashMap(reserve=8)
+        for i in range(5):
+            table.put(i, i)
+        table.remove(3)
+        table.put(3, 33)
+        assert table.get(3) == 33
+        table.check_invariants()
+
+    def test_probe_chain_survives_tombstones(self):
+        # Keys engineered to collide in a small table: integers hash to
+        # themselves, so i and i+capacity share a slot.
+        table = HashMap(reserve=8)
+        cap = table.capacity
+        table.put(0, "a")
+        table.put(cap, "b")   # collides with 0, probes to next slot
+        table.put(2 * cap, "c")
+        table.remove(cap)     # tombstone in the middle of the chain
+        assert table.get(2 * cap) == "c"
+        assert table.get(0) == "a"
+
+
+class TestGrowth:
+    def test_grows_beyond_reserve(self):
+        table = HashMap(reserve=8)
+        initial = table.capacity
+        for i in range(initial * 2):
+            table.put(i, i)
+        assert table.capacity > initial
+        assert len(table) == initial * 2
+
+    def test_load_factor_bounded(self):
+        table = HashMap(reserve=8)
+        for i in range(10_000):
+            table.put(i, i)
+            assert table.load_factor <= MAX_LOAD_FACTOR + 1e-9
+
+    def test_rehash_counters(self):
+        table = HashMap(reserve=8)
+        for i in range(1000):
+            table.put(i, i)
+        assert table.stats.rehashes > 0
+        assert table.stats.rehash_moves > 0
+
+    def test_presized_table_avoids_rehash(self):
+        table = HashMap(reserve=4096)
+        for i in range(4000):
+            table.put(i, i)
+        assert table.stats.rehashes == 0
+
+    def test_capacity_is_power_of_two(self):
+        for reserve in (1, 7, 100, 4096):
+            table = HashMap(reserve=reserve)
+            assert table.capacity & (table.capacity - 1) == 0
+
+    def test_invariants_through_growth_and_removal(self):
+        table = HashMap(reserve=8)
+        for i in range(500):
+            table.put(i, i)
+            if i % 5 == 0:
+                table.remove(i // 2)
+            table.check_invariants()
+
+
+class TestInstrumentationAndMemory:
+    def test_probe_counter_increases(self):
+        table = HashMap()
+        table.put("a", 1)
+        table.get("a")
+        assert table.stats.probes >= 2
+
+    def test_resident_bytes_scales_with_capacity_not_size(self):
+        sparse = HashMap(reserve=4096)
+        sparse.put("only", 1)
+        compact = HashMap(reserve=1)
+        compact.put("only", 1)
+        assert sparse.resident_bytes() > compact.resident_bytes() * 50
+        assert sparse.resident_bytes() >= sparse.capacity * SLOT_BYTES
+
+    def test_resident_bytes_counts_string_keys(self):
+        table = HashMap(reserve=1)
+        base = table.resident_bytes()
+        table.put("abcdef", 1)
+        assert table.resident_bytes() == base + 6
+
+    def test_items_sorted_sorts_hash_entries(self):
+        table = HashMap()
+        for key in [9, 1, 5, 3]:
+            table.put(key, key)
+        assert [k for k, _ in table.items_sorted()] == [1, 3, 5, 9]
+
+    def test_hit_miss_counters(self):
+        table = HashMap()
+        table.put("a", 1)
+        table.get("a")
+        table.get("b")
+        assert table.stats.hits == 1
+        assert table.stats.misses == 1
+
+
+class TestIncrement:
+    def test_increment_counts_tokens(self):
+        table = HashMap()
+        for token in ["the", "cat", "the"]:
+            table.increment(token)
+        assert table.get("the") == 2
+        assert table.get("cat") == 1

@@ -1,0 +1,135 @@
+"""Property-based tests: both dictionary implementations against a model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.dicts import BTreeMap, BuiltinDict, HashMap, TreeMap
+
+keys = st.one_of(st.integers(-50, 50), st.text(min_size=0, max_size=6))
+values = st.integers(-1000, 1000)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("remove"), keys, st.none()),
+        st.tuples(st.just("increment"), keys, st.integers(1, 5)),
+    ),
+    max_size=200,
+)
+
+
+def apply_ops(impl, operations):
+    model = {}
+    for op, key, value in operations:
+        if op == "put":
+            impl.put(key, value)
+            model[key] = value
+        elif op == "remove":
+            assert impl.remove(key) == (key in model)
+            model.pop(key, None)
+        else:
+            impl.increment(key, value)
+            model[key] = model.get(key, 0) + value
+    return model
+
+
+class TestAgainstModel:
+    @given(ops)
+    def test_treemap_matches_builtin_dict(self, operations):
+        # Mixed int/str keys are not mutually orderable; keep one type per run.
+        operations = [o for o in operations if isinstance(o[1], int)]
+        tree = TreeMap()
+        model = apply_ops(tree, operations)
+        assert tree.to_dict() == model
+        assert len(tree) == len(model)
+        tree.check_invariants()
+
+    @given(ops)
+    def test_hashmap_matches_builtin_dict(self, operations):
+        table = HashMap(reserve=4)
+        model = apply_ops(table, operations)
+        assert table.to_dict() == model
+        assert len(table) == len(model)
+        table.check_invariants()
+
+    @given(ops)
+    def test_builtin_wrapper_matches_builtin_dict(self, operations):
+        wrapped = BuiltinDict()
+        model = apply_ops(wrapped, operations)
+        assert wrapped.to_dict() == model
+
+    @given(st.lists(st.integers(-100, 100), max_size=100))
+    def test_tree_iteration_is_sorted(self, items):
+        tree = TreeMap()
+        for item in items:
+            tree.put(item, None)
+        observed = [k for k, _ in tree.items()]
+        assert observed == sorted(set(items))
+
+    @given(st.lists(st.text(max_size=5), max_size=100))
+    def test_items_sorted_agrees_across_implementations(self, words):
+        tree, table = TreeMap(), HashMap(reserve=4)
+        for word in words:
+            tree.increment(word)
+            table.increment(word)
+        assert tree.items_sorted() == table.items_sorted()
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_remove_everything_leaves_empty_structures(self, items):
+        for impl in (TreeMap(), HashMap(reserve=4)):
+            for item in items:
+                impl.put(item, item)
+            for item in set(items):
+                assert impl.remove(item)
+            assert len(impl) == 0
+            assert list(impl.items()) == []
+
+
+class DictStateMachine(RuleBasedStateMachine):
+    """Stateful check: all structures stay equivalent under any op order."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = TreeMap()
+        self.table = HashMap(reserve=4)
+        self.btree = BTreeMap(order=2)
+        self.model = {}
+
+    @rule(key=st.integers(-20, 20), value=values)
+    def put(self, key, value):
+        self.tree.put(key, value)
+        self.table.put(key, value)
+        self.btree.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(-20, 20))
+    def remove(self, key):
+        expected = key in self.model
+        assert self.tree.remove(key) == expected
+        assert self.table.remove(key) == expected
+        assert self.btree.remove(key) == expected
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(-20, 20))
+    def lookup(self, key):
+        expected = self.model.get(key, "absent")
+        assert self.tree.get(key, "absent") == expected
+        assert self.table.get(key, "absent") == expected
+        assert self.btree.get(key, "absent") == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.tree) == len(self.model)
+        assert len(self.table) == len(self.model)
+        assert len(self.btree) == len(self.model)
+
+    @invariant()
+    def structures_valid(self):
+        self.tree.check_invariants()
+        self.table.check_invariants()
+        self.btree.check_invariants()
+
+
+DictStateMachine.TestCase.settings = settings(max_examples=25, stateful_step_count=30)
+TestDictStateMachine = DictStateMachine.TestCase

@@ -1,0 +1,211 @@
+"""Unit tests for the red-black tree map."""
+
+import pytest
+
+from repro.dicts import TreeMap
+from repro.dicts.treemap import NODE_OVERHEAD_BYTES
+
+
+def make_populated(n=100):
+    tree = TreeMap()
+    for i in range(n):
+        tree.put(i * 7 % n, f"value-{i * 7 % n}")
+    return tree
+
+
+class TestBasicOperations:
+    def test_empty_tree_has_len_zero(self):
+        assert len(TreeMap()) == 0
+
+    def test_get_on_empty_returns_default(self):
+        tree = TreeMap()
+        assert tree.get("missing") is None
+        assert tree.get("missing", 42) == 42
+
+    def test_put_then_get(self):
+        tree = TreeMap()
+        tree.put("alpha", 1)
+        assert tree.get("alpha") == 1
+        assert len(tree) == 1
+
+    def test_put_overwrites_existing_key(self):
+        tree = TreeMap()
+        tree.put("k", 1)
+        tree.put("k", 2)
+        assert tree.get("k") == 2
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = make_populated(20)
+        assert 5 in tree
+        assert 100 not in tree
+
+    def test_getitem_raises_keyerror_for_missing(self):
+        tree = TreeMap()
+        with pytest.raises(KeyError):
+            tree["nope"]
+
+    def test_setitem_and_getitem(self):
+        tree = TreeMap()
+        tree["x"] = 9
+        assert tree["x"] == 9
+
+    def test_falsy_values_are_stored_and_retrieved(self):
+        tree = TreeMap()
+        tree.put("zero", 0)
+        tree.put("empty", "")
+        assert tree.get("zero") == 0
+        assert tree.get("empty") == ""
+        assert "zero" in tree
+
+    def test_clear_empties_and_is_reusable(self):
+        tree = make_populated(50)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        tree.put(1, "again")
+        assert tree.get(1) == "again"
+
+
+class TestOrderedBehaviour:
+    def test_items_yield_sorted_order(self):
+        tree = TreeMap()
+        for key in [5, 3, 9, 1, 7, 2, 8]:
+            tree.put(key, key * 10)
+        assert [k for k, _ in tree.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_items_sorted_matches_items_for_tree(self):
+        tree = make_populated(64)
+        assert tree.items_sorted() == list(tree.items())
+
+    def test_min_and_max_key(self):
+        tree = TreeMap()
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        for key in [42, 7, 99, 13]:
+            tree.put(key, None)
+        assert tree.min_key() == 7
+        assert tree.max_key() == 99
+
+    def test_floor_and_ceiling(self):
+        tree = TreeMap()
+        for key in [10, 20, 30]:
+            tree.put(key, None)
+        assert tree.floor_key(25) == 20
+        assert tree.floor_key(20) == 20
+        assert tree.floor_key(5) is None
+        assert tree.ceiling_key(25) == 30
+        assert tree.ceiling_key(30) == 30
+        assert tree.ceiling_key(35) is None
+
+    def test_string_keys_sorted_lexicographically(self):
+        tree = TreeMap()
+        for word in ["pear", "apple", "fig", "banana"]:
+            tree.put(word, 1)
+        assert list(tree.keys()) == ["apple", "banana", "fig", "pear"]
+
+
+class TestRemoval:
+    def test_remove_present_key(self):
+        tree = make_populated(30)
+        assert tree.remove(10) is True
+        assert 10 not in tree
+        assert len(tree) == 29
+
+    def test_remove_absent_key_returns_false(self):
+        tree = make_populated(10)
+        assert tree.remove(999) is False
+        assert len(tree) == 10
+
+    def test_remove_all_keys_in_random_order(self):
+        tree = make_populated(40)
+        keys = [k for k, _ in tree.items()]
+        for key in keys[::2] + keys[1::2]:
+            assert tree.remove(key)
+        assert len(tree) == 0
+
+    def test_invariants_hold_after_interleaved_ops(self):
+        tree = TreeMap()
+        for i in range(200):
+            tree.put((i * 37) % 101, i)
+            if i % 3 == 0:
+                tree.remove((i * 17) % 101)
+            tree.check_invariants()
+
+
+class TestInstrumentation:
+    def test_inserts_counted(self):
+        tree = TreeMap()
+        for i in range(10):
+            tree.put(i, i)
+        assert tree.stats.inserts == 10
+        assert tree.stats.updates == 0
+
+    def test_updates_counted(self):
+        tree = TreeMap()
+        tree.put("a", 1)
+        tree.put("a", 2)
+        assert tree.stats.inserts == 1
+        assert tree.stats.updates == 1
+
+    def test_lookup_hit_miss_counters(self):
+        tree = TreeMap()
+        tree.put("a", 1)
+        tree.get("a")
+        tree.get("b")
+        assert tree.stats.hits == 1
+        assert tree.stats.misses == 1
+        assert tree.stats.lookups == 2
+
+    def test_comparisons_grow_logarithmically(self):
+        small, large = TreeMap(), TreeMap()
+        for i in range(16):
+            small.put(i, i)
+        for i in range(4096):
+            large.put(i, i)
+        small_snapshot = small.stats.copy()
+        large_snapshot = large.stats.copy()
+        small.get(7)
+        large.get(2049)
+        small_cost = small.stats.delta(small_snapshot).comparisons
+        large_cost = large.stats.delta(large_snapshot).comparisons
+        # log2(4096)=12 vs log2(16)=4: large lookups cost more but far less
+        # than the 256x size ratio.
+        assert small_cost < large_cost <= small_cost * 8
+
+    def test_resident_bytes_tracks_entry_count(self):
+        tree = TreeMap()
+        for i in range(100):
+            tree.put(i, i)
+        assert tree.resident_bytes() == 100 * NODE_OVERHEAD_BYTES
+
+    def test_resident_bytes_counts_string_keys(self):
+        tree = TreeMap()
+        tree.put("abcdef", 1)
+        assert tree.resident_bytes() == NODE_OVERHEAD_BYTES + 6
+
+    def test_stats_delta(self):
+        tree = TreeMap()
+        tree.put(1, 1)
+        before = tree.stats.copy()
+        tree.put(2, 2)
+        delta = tree.stats.delta(before)
+        assert delta.inserts == 1
+
+
+class TestIncrement:
+    def test_increment_from_missing(self):
+        tree = TreeMap()
+        assert tree.increment("word") == 1
+        assert tree.get("word") == 1
+
+    def test_increment_accumulates(self):
+        tree = TreeMap()
+        for _ in range(5):
+            tree.increment("word")
+        assert tree.get("word") == 5
+
+    def test_increment_with_amount(self):
+        tree = TreeMap()
+        tree.increment("w", 3)
+        assert tree.increment("w", 4) == 7

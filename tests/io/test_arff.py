@@ -1,0 +1,140 @@
+"""Tests for the ARFF reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ArffFormatError
+from repro.io import read_sparse_arff, write_sparse_arff
+from repro.io.arff import arff_lines, parse_arff_lines
+from repro.sparse import SparseVector
+
+
+def sample_rows():
+    return [
+        SparseVector([0, 2], [1.0, 0.5]),
+        SparseVector(),
+        SparseVector([1], [2.25]),
+    ]
+
+
+class TestWriter:
+    def test_header_structure(self):
+        doc = write_sparse_arff("tfidf", ["alpha", "beta", "gamma"], sample_rows())
+        lines = doc.splitlines()
+        assert lines[0] == "@relation tfidf"
+        assert "@attribute alpha numeric" in lines
+        assert "@data" in lines
+
+    def test_sparse_rows_rendered(self):
+        doc = write_sparse_arff("r", ["a", "b", "c"], sample_rows())
+        data = doc.split("@data\n", 1)[1].splitlines()
+        assert data[0] == "{0 1,2 0.5}"
+        assert data[1] == "{}"
+        assert data[2] == "{1 2.25}"
+
+    def test_attribute_quoting(self):
+        doc = write_sparse_arff("r", ["with space", "don't"], [SparseVector()])
+        assert "@attribute 'with space' numeric" in doc
+        assert "@attribute 'don\\'t' numeric" in doc
+
+    def test_relation_quoting(self):
+        doc = write_sparse_arff("my relation", ["a"], [])
+        assert doc.splitlines()[0] == "@relation 'my relation'"
+
+    def test_dense_mode(self):
+        lines = list(
+            arff_lines("r", ["a", "b"], [SparseVector([1], [3.0])], sparse=False)
+        )
+        assert lines[-1] == "0,3"
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_rows(self):
+        attributes = ["t0", "t1", "t2"]
+        doc = write_sparse_arff("tfidf", attributes, sample_rows())
+        relation = read_sparse_arff(doc)
+        assert relation.name == "tfidf"
+        assert relation.attributes == attributes
+        assert list(relation.rows.iter_rows()) == sample_rows()
+
+    def test_roundtrip_quoted_names(self):
+        attributes = ["plain", "with space"]
+        doc = write_sparse_arff("r x", attributes, [SparseVector([1], [1.0])])
+        relation = read_sparse_arff(doc)
+        assert relation.name == "r x"
+        assert relation.attributes == attributes
+
+    @given(
+        st.lists(
+            st.dictionaries(st.integers(0, 20), st.floats(0.001, 100), max_size=8),
+            max_size=10,
+        )
+    )
+    def test_roundtrip_random_rows(self, dicts):
+        rows = [SparseVector.from_dict(d) for d in dicts]
+        attributes = [f"term{i}" for i in range(21)]
+        relation = read_sparse_arff(write_sparse_arff("r", attributes, rows))
+        assert relation.rows.n_rows == len(rows)
+        for original, parsed in zip(rows, relation.rows.iter_rows()):
+            assert parsed.indices == original.indices
+            for a, b in zip(parsed.values, original.values):
+                assert a == pytest.approx(b, rel=1e-5)
+
+
+class TestParser:
+    def test_comments_and_blank_lines_ignored(self):
+        doc = "\n".join(
+            [
+                "% a comment",
+                "@relation r",
+                "",
+                "@attribute a numeric",
+                "@attribute b numeric",
+                "% another",
+                "@data",
+                "{0 1}",
+            ]
+        )
+        relation = read_sparse_arff(doc)
+        assert relation.rows.n_rows == 1
+
+    def test_dense_rows_parsed(self):
+        doc = "@relation r\n@attribute a numeric\n@attribute b numeric\n@data\n1,2\n0,0\n"
+        relation = read_sparse_arff(doc)
+        assert relation.rows.row(0) == SparseVector([0, 1], [1.0, 2.0])
+        assert relation.rows.row(1).nnz == 0
+
+    def test_case_insensitive_keywords(self):
+        doc = "@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n{0 1}\n"
+        assert read_sparse_arff(doc).name == "r"
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "@attribute a numeric\n@data\n",  # missing relation
+            "@relation r\n@data\n",  # no attributes
+            "@relation r\n@attribute a numeric\n",  # no data section
+            "@relation r\n@attribute a string\n@data\n",  # bad type
+            "@relation r\n@attribute a numeric\n@data\n{0 1",  # unterminated
+            "@relation r\n@attribute a numeric\n@data\n{5 1}",  # index range
+            "@relation r\n@attribute a numeric\n@data\n{0 x}",  # bad value
+            "@relation r\n@attribute a numeric\n@data\n{0 1,0 2}",  # dup index
+            "@relation r\n@attribute a numeric\n@data\n1,2",  # arity
+            "@relation r\nbogus line\n@data\n",  # unknown header
+            "@relation r\n@attribute a\n@data\n",  # missing type
+        ],
+    )
+    def test_malformed_documents_rejected(self, doc):
+        with pytest.raises(ArffFormatError):
+            read_sparse_arff(doc)
+
+    def test_sparse_entries_may_be_unordered(self):
+        doc = "@relation r\n@attribute a numeric\n@attribute b numeric\n@data\n{1 2,0 1}\n"
+        row = read_sparse_arff(doc).rows.row(0)
+        assert row.indices == [0, 1]
+
+    def test_parse_from_line_iterable(self):
+        lines = ["@relation r", "@attribute a numeric", "@data", "{0 3}"]
+        relation = parse_arff_lines(iter(lines))
+        assert relation.rows.row(0).get(0) == 3.0

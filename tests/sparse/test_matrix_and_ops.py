@@ -1,0 +1,119 @@
+"""Tests for the CSR matrix and free-function kernels."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.sparse import (
+    CsrMatrix,
+    SparseVector,
+    cosine_similarity,
+    dense_squared_norm,
+    mean_of_rows,
+    nearest_centroid,
+    scale_dense,
+    zero_dense,
+)
+
+
+def sample_rows():
+    return [
+        SparseVector([0, 2], [1.0, 2.0]),
+        SparseVector(),
+        SparseVector([1], [3.0]),
+    ]
+
+
+class TestCsrMatrix:
+    def test_from_rows_roundtrip(self):
+        rows = sample_rows()
+        matrix = CsrMatrix.from_rows(rows)
+        assert matrix.n_rows == 3
+        assert matrix.n_cols == 3
+        assert matrix.nnz == 3
+        for i, row in enumerate(rows):
+            assert matrix.row(i) == row
+
+    def test_explicit_n_cols(self):
+        matrix = CsrMatrix.from_rows(sample_rows(), n_cols=10)
+        assert matrix.n_cols == 10
+
+    def test_n_cols_too_small_rejected(self):
+        with pytest.raises(OperatorError):
+            CsrMatrix.from_rows(sample_rows(), n_cols=2)
+
+    def test_row_out_of_range(self):
+        matrix = CsrMatrix.from_rows(sample_rows())
+        with pytest.raises(OperatorError):
+            matrix.row(3)
+        with pytest.raises(OperatorError):
+            matrix.row(-1)
+
+    def test_row_nnz(self):
+        matrix = CsrMatrix.from_rows(sample_rows())
+        assert [matrix.row_nnz(i) for i in range(3)] == [2, 0, 1]
+
+    def test_iter_rows(self):
+        matrix = CsrMatrix.from_rows(sample_rows())
+        assert list(matrix.iter_rows()) == sample_rows()
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(OperatorError):
+            CsrMatrix([1, 2], [0], [1.0], n_cols=1)
+        with pytest.raises(OperatorError):
+            CsrMatrix([0, 2], [0], [1.0], n_cols=1)
+        with pytest.raises(OperatorError):
+            CsrMatrix([0, 2, 1], [0, 1], [1.0, 1.0], n_cols=2)
+
+    def test_resident_bytes_positive(self):
+        assert CsrMatrix.from_rows(sample_rows()).resident_bytes() > 0
+
+    def test_empty_matrix(self):
+        matrix = CsrMatrix.from_rows([])
+        assert matrix.n_rows == 0
+        assert matrix.n_cols == 0
+
+
+class TestKernels:
+    def test_dense_squared_norm(self):
+        assert dense_squared_norm([3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_scale_and_zero_dense(self):
+        buffer = [1.0, 2.0]
+        scale_dense(buffer, 2.0)
+        assert buffer == [2.0, 4.0]
+        zero_dense(buffer)
+        assert buffer == [0.0, 0.0]
+
+    def test_cosine_similarity_parallel_vectors(self):
+        a = SparseVector([0, 1], [1.0, 1.0])
+        b = SparseVector([0, 1], [2.0, 2.0])
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        a = SparseVector([0], [1.0])
+        b = SparseVector([1], [1.0])
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_cosine_similarity_zero_vector(self):
+        assert cosine_similarity(SparseVector(), SparseVector([0], [1.0])) == 0.0
+
+    def test_nearest_centroid_picks_closest(self):
+        centroids = [[1.0, 0.0], [0.0, 1.0]]
+        norms = [1.0, 1.0]
+        vec = SparseVector([1], [0.9])
+        index, distance = nearest_centroid(vec, centroids, norms)
+        assert index == 1
+        assert distance == pytest.approx(0.9**2 - 2 * 0.9 + 1.0)
+
+    def test_nearest_centroid_tie_breaks_low_index(self):
+        centroids = [[1.0, 0.0], [1.0, 0.0]]
+        vec = SparseVector([0], [1.0])
+        index, _ = nearest_centroid(vec, centroids, [1.0, 1.0])
+        assert index == 0
+
+    def test_mean_of_rows(self):
+        rows = [SparseVector([0], [2.0]), SparseVector([1], [4.0])]
+        assert mean_of_rows(rows, 2) == [1.0, 2.0]
+
+    def test_mean_of_no_rows(self):
+        assert mean_of_rows([], 3) == [0.0, 0.0, 0.0]

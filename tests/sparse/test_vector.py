@@ -1,0 +1,166 @@
+"""Unit and property tests for sparse vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import OperatorError
+from repro.sparse import SparseVector
+
+sparse_dicts = st.dictionaries(st.integers(0, 40), st.floats(-10, 10), max_size=15)
+
+
+class TestConstruction:
+    def test_empty_vector(self):
+        vec = SparseVector()
+        assert vec.nnz == 0
+        assert vec.norm() == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(OperatorError):
+            SparseVector([1, 2], [1.0])
+
+    def test_unsorted_indices_rejected(self):
+        with pytest.raises(OperatorError):
+            SparseVector([2, 1], [1.0, 2.0])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(OperatorError):
+            SparseVector([1, 1], [1.0, 2.0])
+
+    def test_from_pairs_sums_duplicates(self):
+        vec = SparseVector.from_pairs([(3, 1.0), (1, 2.0), (3, 4.0)])
+        assert vec.indices == [1, 3]
+        assert vec.values == [2.0, 5.0]
+
+    def test_from_dict(self):
+        vec = SparseVector.from_dict({5: 1.0, 2: 3.0})
+        assert vec.indices == [2, 5]
+
+    def test_from_dense_drops_zeros(self):
+        vec = SparseVector.from_dense([0.0, 1.5, 0.0, -2.0])
+        assert vec.indices == [1, 3]
+        assert vec.values == [1.5, -2.0]
+
+
+class TestAccess:
+    def test_get_present_and_absent(self):
+        vec = SparseVector([1, 5], [2.0, 3.0])
+        assert vec.get(1) == 2.0
+        assert vec.get(5) == 3.0
+        assert vec.get(3) == 0.0
+        assert vec.get(100) == 0.0
+
+    def test_items_and_len(self):
+        vec = SparseVector([0, 2], [1.0, 2.0])
+        assert list(vec.items()) == [(0, 1.0), (2, 2.0)]
+        assert len(vec) == 2
+
+    def test_equality(self):
+        assert SparseVector([1], [2.0]) == SparseVector([1], [2.0])
+        assert SparseVector([1], [2.0]) != SparseVector([1], [3.0])
+
+    def test_to_dense(self):
+        vec = SparseVector([1, 3], [2.0, 4.0])
+        assert vec.to_dense(5) == [0.0, 2.0, 0.0, 4.0, 0.0]
+
+    def test_to_dense_out_of_range(self):
+        with pytest.raises(OperatorError):
+            SparseVector([10], [1.0]).to_dense(5)
+
+
+class TestMath:
+    def test_dot_disjoint_is_zero(self):
+        a = SparseVector([0, 2], [1.0, 1.0])
+        b = SparseVector([1, 3], [1.0, 1.0])
+        assert a.dot(b) == 0.0
+
+    def test_dot_overlapping(self):
+        a = SparseVector([0, 2, 4], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 4], [5.0, 7.0])
+        assert a.dot(b) == pytest.approx(2 * 5 + 3 * 7)
+
+    def test_dot_dense(self):
+        a = SparseVector([0, 3], [2.0, 4.0])
+        assert a.dot_dense([1.0, 0.0, 0.0, 5.0]) == pytest.approx(22.0)
+
+    def test_dot_dense_ignores_out_of_range(self):
+        a = SparseVector([0, 10], [2.0, 4.0])
+        assert a.dot_dense([3.0]) == pytest.approx(6.0)
+
+    def test_norms(self):
+        vec = SparseVector([1, 2], [3.0, 4.0])
+        assert vec.squared_norm() == pytest.approx(25.0)
+        assert vec.norm() == pytest.approx(5.0)
+
+    def test_scale(self):
+        vec = SparseVector([1], [2.0]).scale(2.5)
+        assert vec.values == [5.0]
+
+    def test_normalized_unit_norm(self):
+        vec = SparseVector([0, 1], [3.0, 4.0]).normalized()
+        assert vec.norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector(self):
+        vec = SparseVector().normalized()
+        assert vec.nnz == 0
+
+    def test_add(self):
+        a = SparseVector([0, 2], [1.0, 2.0])
+        b = SparseVector([1, 2], [5.0, 3.0])
+        assert a.add(b) == SparseVector([0, 1, 2], [1.0, 5.0, 5.0])
+
+    def test_add_into_dense_with_weight(self):
+        buffer = [0.0] * 4
+        SparseVector([1, 3], [1.0, 2.0]).add_into_dense(buffer, weight=2.0)
+        assert buffer == [0.0, 2.0, 0.0, 4.0]
+
+    def test_squared_distance_to_dense(self):
+        vec = SparseVector([0], [1.0])
+        dense = [0.0, 1.0]
+        dist = vec.squared_distance_to_dense(dense, dense_sq_norm=1.0)
+        assert dist == pytest.approx(2.0)  # ||(1,0)-(0,1)||^2
+
+
+class TestProperties:
+    @given(sparse_dicts, sparse_dicts)
+    def test_dot_commutative(self, da, db):
+        a, b = SparseVector.from_dict(da), SparseVector.from_dict(db)
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    @given(sparse_dicts, sparse_dicts)
+    def test_dot_matches_dense_computation(self, da, db):
+        a, b = SparseVector.from_dict(da), SparseVector.from_dict(db)
+        size = 41
+        dense = sum(x * y for x, y in zip(a.to_dense(size), b.to_dense(size)))
+        assert a.dot(b) == pytest.approx(dense)
+
+    @given(sparse_dicts, sparse_dicts)
+    def test_add_matches_dense_addition(self, da, db):
+        a, b = SparseVector.from_dict(da), SparseVector.from_dict(db)
+        size = 41
+        expected = [x + y for x, y in zip(a.to_dense(size), b.to_dense(size))]
+        result = a.add(b).to_dense(size)
+        for got, want in zip(result, expected):
+            assert got == pytest.approx(want)
+
+    @given(sparse_dicts)
+    def test_distance_to_dense_matches_direct(self, da):
+        vec = SparseVector.from_dict(da)
+        size = 41
+        dense = [0.5] * size
+        sq = sum(v * v for v in dense)
+        direct = sum(
+            (x - y) ** 2 for x, y in zip(vec.to_dense(size), dense)
+        )
+        assert vec.squared_distance_to_dense(dense, sq) == pytest.approx(
+            direct, abs=1e-9
+        )
+
+    @given(sparse_dicts)
+    def test_normalized_is_unit_or_zero(self, da):
+        vec = SparseVector.from_dict(
+            {k: v for k, v in da.items() if abs(v) > 1e-6}
+        )
+        norm = vec.normalized().norm()
+        assert norm == pytest.approx(1.0) or vec.nnz == 0

@@ -1,0 +1,58 @@
+"""Tests for the shared benchmark harness."""
+
+import pytest
+
+from repro.bench import prepare_workload, run_paper_workflow
+from repro.bench.harness import _CACHE
+from repro.text import MIX_PROFILE
+
+
+class TestPrepareWorkload:
+    def test_workload_statistics(self):
+        workload = prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+        assert workload.n_docs == round(MIX_PROFILE.n_docs * 0.002)
+        assert workload.stats.distinct_words > 0
+        assert workload.prefix == "in/"
+        assert len(list(workload.storage.list("in/"))) == workload.n_docs
+
+    def test_scale_factors_extrapolate_to_full(self):
+        workload = prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+        assert workload.scale.doc_factor == pytest.approx(
+            MIX_PROFILE.n_docs / workload.n_docs
+        )
+        assert workload.scale.vocab_factor > 1.0
+
+    def test_caching_returns_same_object(self):
+        a = prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+        b = prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+        assert a is b
+        assert (MIX_PROFILE.name, 0.002, 5) in _CACHE
+
+    def test_different_seed_not_cached_together(self):
+        a = prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+        b = prepare_workload(MIX_PROFILE, scale=0.002, seed=6)
+        assert a is not b
+
+
+class TestRunPaperWorkflow:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return prepare_workload(MIX_PROFILE, scale=0.002, seed=5)
+
+    def test_returns_full_scale_result(self, workload):
+        result = run_paper_workflow(workload, workers=8, max_iters=3)
+        # Full-scale virtual seconds: far larger than a 47-doc run would be.
+        assert result.total_s > 1.0
+        assert "input+wc" in result.breakdown()
+
+    def test_mode_and_dict_kind_forwarded(self, workload):
+        discrete = run_paper_workflow(
+            workload, mode="discrete", wc_dict_kind="unordered_map",
+            workers=4, max_iters=3,
+        )
+        assert "tfidf-output" in discrete.breakdown()
+        assert discrete.peak_resident_bytes > 1e9  # u-map pre-sized tables
+
+    def test_workers_capped_by_cores_argument(self, workload):
+        result = run_paper_workflow(workload, workers=20, cores=20, max_iters=3)
+        assert result.workers == 20

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface (operators as separate binaries)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_sparse_arff
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    out = str(tmp_path / "corpus")
+    assert main(["generate", "--profile", "mix", "--scale", "0.002",
+                 "--seed", "1", "--out", out]) == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.profile == "mix"
+        assert args.scale == 0.01
+
+
+class TestGenerate:
+    def test_writes_documents(self, corpus_dir):
+        files = os.listdir(corpus_dir)
+        assert len(files) == 47
+        assert all(name.endswith(".txt") for name in files)
+
+    def test_deterministic(self, tmp_path, corpus_dir):
+        other = str(tmp_path / "other")
+        main(["generate", "--profile", "mix", "--scale", "0.002",
+              "--seed", "1", "--out", other])
+        name = sorted(os.listdir(corpus_dir))[0]
+        with open(os.path.join(corpus_dir, name)) as a, open(
+            os.path.join(other, name)
+        ) as b:
+            assert a.read() == b.read()
+
+
+class TestDiscretePipeline:
+    def test_tfidf_then_kmeans(self, corpus_dir, tmp_path):
+        scores = str(tmp_path / "scores.arff")
+        clusters = str(tmp_path / "clusters.txt")
+        assert main(["tfidf", "--input", corpus_dir, "--output", scores]) == 0
+        relation = read_sparse_arff(open(scores).read())
+        assert relation.rows.n_rows == 47
+
+        assert main(["kmeans", "--input", scores, "--output", clusters,
+                     "--clusters", "4"]) == 0
+        lines = open(clusters).read().strip().splitlines()
+        assert len(lines) == 47
+        assignments = [int(line.split("\t")[1]) for line in lines]
+        assert set(assignments) <= set(range(4))
+
+    def test_tfidf_min_df_shrinks_vocabulary(self, corpus_dir, tmp_path):
+        full = str(tmp_path / "full.arff")
+        pruned = str(tmp_path / "pruned.arff")
+        main(["tfidf", "--input", corpus_dir, "--output", full])
+        main(["tfidf", "--input", corpus_dir, "--output", pruned,
+              "--min-df", "3"])
+        full_attrs = read_sparse_arff(open(full).read()).attributes
+        pruned_attrs = read_sparse_arff(open(pruned).read()).attributes
+        assert len(pruned_attrs) < len(full_attrs)
+
+    def test_tfidf_empty_dir_fails(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        assert main(["tfidf", "--input", empty, "--output",
+                     str(tmp_path / "x.arff")]) == 1
+        assert "no documents" in capsys.readouterr().err
+
+    def test_kmeans_plusplus_init(self, corpus_dir, tmp_path):
+        scores = str(tmp_path / "scores.arff")
+        clusters = str(tmp_path / "clusters.txt")
+        main(["tfidf", "--input", corpus_dir, "--output", scores])
+        assert main(["kmeans", "--input", scores, "--output", clusters,
+                     "--clusters", "4", "--init", "kmeans++"]) == 0
+
+
+class TestWorkflowAndPlan:
+    def test_workflow_reports_phases(self, corpus_dir, capsys):
+        assert main(["workflow", "--input", corpus_dir, "--mode", "discrete",
+                     "--threads", "8", "--max-iters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "input+wc" in out
+        assert "tfidf-output" in out
+        assert "total" in out
+        # The output file lands inside the corpus storage.
+        assert os.path.exists(os.path.join(corpus_dir, "clusters.txt"))
+
+    def test_merged_workflow_has_no_materialization(self, corpus_dir, capsys):
+        main(["workflow", "--input", corpus_dir, "--mode", "merged",
+              "--max-iters", "3"])
+        out = capsys.readouterr().out
+        assert "tfidf-output" not in out
+
+    def test_plan_prints_ranking(self, corpus_dir, capsys):
+        assert main(["plan", "--input", corpus_dir, "--pilot-docs", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out
+        assert "merged" in out
+
+
+class TestAnalyze:
+    def test_analyze_reports_statistics(self, corpus_dir, capsys):
+        assert main(["analyze", "--input", corpus_dir, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "documents:" in out
+        assert "Heaps fit:" in out
+        assert "top-5 term frequencies" in out
+
+    def test_analyze_empty_dir(self, tmp_path, capsys):
+        import os
+
+        empty = str(tmp_path / "void")
+        os.makedirs(empty)
+        assert main(["analyze", "--input", empty]) == 1
+        assert "no documents" in capsys.readouterr().err

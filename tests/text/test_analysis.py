@@ -1,0 +1,99 @@
+"""Tests for corpus analysis: Heaps fitting and Zipf profiles."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.text import (
+    MIX_PROFILE,
+    Corpus,
+    fit_heaps,
+    generate_corpus,
+    profile_from_corpus,
+    vocabulary_growth,
+    zipf_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.004, seed=11)
+
+
+class TestVocabularyGrowth:
+    def test_samples_are_monotone(self, corpus):
+        samples = vocabulary_growth(corpus)
+        tokens = [n for n, _ in samples]
+        vocab = [v for _, v in samples]
+        assert tokens == sorted(tokens)
+        assert vocab == sorted(vocab)
+
+    def test_last_sample_covers_whole_corpus(self, corpus):
+        samples = vocabulary_growth(corpus)
+        stats = corpus.stats()
+        assert samples[-1] == (stats.total_tokens, stats.distinct_words)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(OperatorError):
+            vocabulary_growth(Corpus("empty"))
+
+
+class TestHeapsFit:
+    def test_recovers_generator_parameters(self, corpus):
+        """Fitting the generated corpus should recover the profile's beta."""
+        fit = fit_heaps(corpus)
+        assert fit.beta == pytest.approx(MIX_PROFILE.heaps_beta, abs=0.12)
+        assert fit.r_squared > 0.98
+
+    def test_prediction_matches_measurement(self, corpus):
+        fit = fit_heaps(corpus)
+        stats = corpus.stats()
+        assert fit.predict(stats.total_tokens) == pytest.approx(
+            stats.distinct_words, rel=0.15
+        )
+
+    def test_predict_zero_tokens(self, corpus):
+        assert fit_heaps(corpus).predict(0) == 0.0
+
+    def test_single_document_rejected(self):
+        tiny = Corpus.from_texts("one", ["a a a"])
+        with pytest.raises(OperatorError):
+            fit_heaps(tiny)
+
+
+class TestZipfProfile:
+    def test_frequencies_descend(self, corpus):
+        profile = zipf_profile(corpus, top=50)
+        freqs = [f for _, f in profile]
+        assert freqs == sorted(freqs, reverse=True)
+        assert profile[0][0] == 1
+
+    def test_heavy_head(self, corpus):
+        """Zipf-like data: rank-1 term much more frequent than rank-50."""
+        profile = zipf_profile(corpus, top=50)
+        assert profile[0][1] > 5 * profile[-1][1]
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(OperatorError):
+            zipf_profile(Corpus.from_texts("blank", ["..."]))
+
+
+class TestProfileFromCorpus:
+    def test_round_trip_statistics(self, corpus):
+        """A profile fitted from a corpus regenerates similar statistics."""
+        fitted = profile_from_corpus(corpus, name="refit")
+        regenerated = generate_corpus(fitted, scale=1.0, seed=99)
+        original = corpus.stats()
+        redone = regenerated.stats()
+        assert redone.documents == original.documents
+        assert redone.mean_tokens_per_doc == pytest.approx(
+            original.mean_tokens_per_doc, rel=0.15
+        )
+        assert redone.distinct_words == pytest.approx(
+            original.distinct_words, rel=0.35
+        )
+
+    def test_profile_fields(self, corpus):
+        fitted = profile_from_corpus(corpus)
+        assert fitted.n_docs == len(corpus)
+        assert 0.0 < fitted.heaps_beta < 1.0
+        assert fitted.name.startswith("fitted-")

@@ -1,0 +1,75 @@
+"""Tests for normalization and tokenization."""
+
+import pytest
+
+from repro.text import (
+    ENGLISH_STOPWORDS,
+    Tokenizer,
+    fold_text,
+    is_stopword,
+    is_word_char,
+)
+
+
+class TestFoldText:
+    def test_lowercases(self):
+        assert fold_text("Hello World") == "hello world"
+
+    def test_punctuation_becomes_space(self):
+        assert fold_text("a,b.c!d") == "a b c d"
+
+    def test_apostrophes_removed(self):
+        assert fold_text("don't") == "dont"
+
+    def test_digits_kept(self):
+        assert fold_text("year 2016") == "year 2016"
+
+    def test_non_ascii_treated_as_separator(self):
+        assert fold_text("café au lait").split() == ["caf", "au", "lait"]
+
+    def test_empty_string(self):
+        assert fold_text("") == ""
+
+    def test_is_word_char(self):
+        assert is_word_char("a")
+        assert is_word_char("7")
+        assert not is_word_char(".")
+        assert not is_word_char("é")
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        doc = Tokenizer().tokenize("The quick brown fox.")
+        assert doc.tokens == ["the", "quick", "brown", "fox"]
+        assert doc.n_tokens == 4
+
+    def test_bytes_processed_counts_raw_text(self):
+        text = "Some raw text!"
+        assert Tokenizer().tokenize(text).bytes_processed == len(text)
+
+    def test_stopwords_dropped_when_enabled(self):
+        tokens = Tokenizer(drop_stopwords=True).tokens("the fox and the hound")
+        assert tokens == ["fox", "hound"]
+
+    def test_stopwords_kept_by_default(self):
+        tokens = Tokenizer().tokens("the fox")
+        assert "the" in tokens
+
+    def test_min_length_filter(self):
+        tokens = Tokenizer(min_length=3).tokens("a an the word")
+        assert tokens == ["the", "word"]
+
+    def test_max_length_filter(self):
+        long_run = "x" * 100
+        tokens = Tokenizer(max_length=64).tokens(f"ok {long_run} fine")
+        assert tokens == ["ok", "fine"]
+
+    def test_empty_text(self):
+        doc = Tokenizer().tokenize("")
+        assert doc.tokens == []
+        assert doc.bytes_processed == 0
+
+    def test_stopword_helper(self):
+        assert is_stopword("the")
+        assert not is_stopword("fox")
+        assert "the" in ENGLISH_STOPWORDS
