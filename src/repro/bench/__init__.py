@@ -1,4 +1,4 @@
-"""Benchmark harness shared by the per-figure benchmark modules."""
+"""Benchmark harnesses: virtual-time (paper figures) and wall-clock."""
 
 from repro.bench.harness import (
     DEFAULT_BENCH_SCALE,
@@ -8,6 +8,7 @@ from repro.bench.harness import (
     prepare_workload,
     run_paper_workflow,
 )
+from repro.bench.wallclock import DEFAULT_WORKER_SWEEP, bench_wallclock
 
 __all__ = [
     "Workload",
@@ -16,4 +17,6 @@ __all__ = [
     "DEFAULT_BENCH_SCALE",
     "THREAD_SWEEP",
     "FIG3_THREADS",
+    "bench_wallclock",
+    "DEFAULT_WORKER_SWEEP",
 ]

@@ -1,0 +1,133 @@
+"""Wall-clock benchmark: backends × worker counts on the real pipeline.
+
+Unlike the virtual-time benchmarks under ``benchmarks/`` (which reproduce
+the paper's figures deterministically), this harness measures *actual*
+seconds on the host: it sweeps execution backends and worker counts over
+the synthetic Mix corpus, runs the real fused TF/IDF → K-means pipeline,
+and reports per-phase wall-clock times plus speedups against the
+sequential backend. ``tools/bench_wallclock.py`` wraps it into a CLI that
+writes ``BENCH_wallclock.json`` — the seed of the repo's performance
+trajectory: every future perf PR reruns it and appends a comparable
+record.
+
+Every run also cross-checks that the operator output (TF/IDF matrix and
+K-means assignments) is identical to the sequential backend's, so the
+benchmark doubles as an end-to-end equivalence check on real hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Sequence
+
+from repro.core.pipeline import RealRunResult, run_pipeline
+from repro.exec.process import make_backend
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
+
+__all__ = ["bench_wallclock", "DEFAULT_WORKER_SWEEP"]
+
+_PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
+
+#: Worker counts swept for the pooled backends.
+DEFAULT_WORKER_SWEEP = (1, 2, 4)
+
+
+def _matrices_equal(a: RealRunResult, b: RealRunResult) -> bool:
+    ma, mb = a.tfidf.matrix, b.tfidf.matrix
+    return (
+        ma.n_rows == mb.n_rows
+        and ma.n_cols == mb.n_cols
+        and all(
+            ra.indices == rb.indices and ra.values == rb.values
+            for ra, rb in zip(ma.iter_rows(), mb.iter_rows())
+        )
+        and a.kmeans.assignments == b.kmeans.assignments
+    )
+
+
+def bench_wallclock(
+    profile: str = "mix",
+    scale: float = 0.01,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    workers: Sequence[int] = DEFAULT_WORKER_SWEEP,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+) -> dict:
+    """Sweep backends × workers; return the benchmark record.
+
+    ``repeats`` re-runs each configuration and keeps the *minimum* time
+    per phase (the standard noise filter for wall-clock benchmarks). The
+    sequential backend anchors the sweep: it runs once (worker count is
+    meaningless for it) and every other configuration reports a speedup
+    against it.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+
+    def make_ops():
+        return TfIdfOperator(), KMeansOperator(max_iters=kmeans_iters)
+
+    runs: list[dict] = []
+    reference: RealRunResult | None = None
+    reference_phases: dict[str, float] = {}
+    for backend_name in backends:
+        sweep = (1,) if backend_name == "sequential" else tuple(workers)
+        for n_workers in sweep:
+            best: dict[str, float] | None = None
+            total = None
+            result = None
+            for _ in range(max(1, repeats)):
+                backend = make_backend(backend_name, n_workers)
+                try:
+                    tfidf, kmeans = make_ops()
+                    start = time.perf_counter()
+                    result = run_pipeline(
+                        corpus, backend=backend, tfidf=tfidf, kmeans=kmeans
+                    )
+                    elapsed = time.perf_counter() - start
+                finally:
+                    backend.close()
+                if best is None or elapsed < total:
+                    best = dict(result.phase_seconds)
+                    total = elapsed
+            if reference is None:
+                reference = result
+                reference_phases = best
+            runs.append(
+                {
+                    "backend": backend_name,
+                    "workers": n_workers,
+                    "phases": best,
+                    "total_s": total,
+                    "speedup_vs_sequential": (
+                        sum(reference_phases.values()) / sum(best.values())
+                        if reference_phases
+                        else 1.0
+                    ),
+                    "output_identical": (
+                        result is reference or _matrices_equal(result, reference)
+                    ),
+                }
+            )
+
+    return {
+        "benchmark": "wallclock",
+        "profile": profile,
+        "scale": scale,
+        "n_docs": len(corpus),
+        "repeats": repeats,
+        "kmeans_iters": kmeans_iters,
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "runs": runs,
+    }

@@ -22,9 +22,12 @@ import argparse
 import os
 import sys
 
+from repro.core.pipeline import run_pipeline
+from repro.errors import ConfigurationError
 from repro.core.planner import WorkflowPlanner
 from repro.core.workflow import build_tfidf_kmeans_workflow
 from repro.exec.machine import paper_node
+from repro.exec.process import BACKEND_CHOICES, make_backend
 from repro.exec.scheduler import SimScheduler
 from repro.io.arff import read_sparse_arff, write_sparse_arff
 from repro.io.corpus_io import load_corpus, store_corpus
@@ -38,6 +41,23 @@ from repro.text.tokenizer import Tokenizer
 __all__ = ["main", "build_parser"]
 
 _PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
+
+
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """Real-execution backend selection, shared by tfidf/kmeans/pipeline."""
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default="sequential",
+        help="real execution backend (processes = one per core)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=max(1, os.cpu_count() or 1),
+        help="worker count for threads/processes backends",
+    )
+
+
+def _make_cli_backend(args):
+    """Build the backend an invocation asked for (caller must close it)."""
+    return make_backend(args.backend, args.workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["map", "unordered_map", "dict"])
     tfidf.add_argument("--min-df", type=int, default=1)
     tfidf.add_argument("--stopwords", action="store_true")
+    _add_backend_args(tfidf)
 
     kmeans = sub.add_parser("kmeans", help="K-means over an ARFF file")
     kmeans.add_argument("--input", required=True, help="ARFF input file")
@@ -70,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
     kmeans.add_argument("--max-iters", type=int, default=10)
     kmeans.add_argument("--seed", type=int, default=0)
     kmeans.add_argument("--init", choices=["spread", "kmeans++"], default="spread")
+    _add_backend_args(kmeans)
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="run the fused TF/IDF -> K-means workflow for real "
+        "(wall clock, multi-core via --backend processes)",
+    )
+    pipe.add_argument("--input", required=True, help="corpus directory")
+    pipe.add_argument("--output", default=None,
+                      help="assignments file (default: stdout summary only)")
+    pipe.add_argument("--arff", default=None,
+                      help="also write the TF/IDF scores as ARFF")
+    pipe.add_argument("--dict", dest="dict_kind", default="map",
+                      choices=["map", "unordered_map", "dict"])
+    pipe.add_argument("--min-df", type=int, default=1)
+    pipe.add_argument("--stopwords", action="store_true")
+    pipe.add_argument("--clusters", type=int, default=8)
+    pipe.add_argument("--max-iters", type=int, default=10)
+    pipe.add_argument("--seed", type=int, default=0)
+    pipe.add_argument("--init", choices=["spread", "kmeans++"], default="spread")
+    _add_backend_args(pipe)
 
     wf = sub.add_parser("workflow", help="run the fused/discrete workflow "
                         "with a simulated timing report")
@@ -120,7 +162,8 @@ def _cmd_tfidf(args) -> int:
         tokenizer=Tokenizer(drop_stopwords=args.stopwords),
         min_df=args.min_df,
     )
-    result = operator.fit_transform(corpus)
+    with _make_cli_backend(args) as backend:
+        result = operator.fit_transform(corpus, backend=backend)
     document = write_sparse_arff("tfidf", result.vocabulary,
                                  result.matrix.iter_rows())
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -139,7 +182,8 @@ def _cmd_kmeans(args) -> int:
         seed=args.seed,
         init=args.init,
     )
-    result = operator.fit(relation.rows)
+    with _make_cli_backend(args) as backend:
+        result = operator.fit(relation.rows, backend=backend)
     with open(args.output, "w", encoding="utf-8") as handle:
         for doc_id, cluster in enumerate(result.assignments):
             handle.write(f"{doc_id}\t{cluster}\n")
@@ -173,6 +217,49 @@ def _cmd_workflow(args) -> int:
     print(f"  {'total':>14}: {result.total_s:9.3f}s "
           f"(peak memory {result.peak_resident_bytes / 1e6:.1f} MB)")
     print(f"cluster sizes: {clusters.cluster_sizes()}")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    storage = FsStorage(args.input)
+    corpus = load_corpus(storage, "", name=os.path.basename(args.input))
+    if not len(corpus):
+        print(f"error: no documents found in {args.input}", file=sys.stderr)
+        return 1
+    tfidf = TfIdfOperator(
+        wc_dict_kind=args.dict_kind,
+        tokenizer=Tokenizer(drop_stopwords=args.stopwords),
+        min_df=args.min_df,
+    )
+    kmeans = KMeansOperator(
+        n_clusters=args.clusters,
+        max_iters=args.max_iters,
+        seed=args.seed,
+        init=args.init,
+    )
+    with _make_cli_backend(args) as backend:
+        result = run_pipeline(corpus, backend=backend, tfidf=tfidf, kmeans=kmeans)
+
+    if args.arff is not None:
+        document = write_sparse_arff(
+            "tfidf", result.tfidf.vocabulary, result.tfidf.matrix.iter_rows()
+        )
+        with open(args.arff, "w", encoding="utf-8") as handle:
+            handle.write(document)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for doc_id, cluster in enumerate(result.kmeans.assignments):
+                handle.write(f"{doc_id}\t{cluster}\n")
+
+    print(f"fused pipeline on backend {result.backend_name} "
+          f"({len(corpus)} documents, "
+          f"{len(result.tfidf.vocabulary)} terms):")
+    for phase, seconds in result.phase_seconds.items():
+        print(f"  {phase:>14}: {seconds:9.3f}s")
+    print(f"  {'total':>14}: {result.total_s:9.3f}s")
+    print(f"cluster sizes: {result.kmeans.cluster_sizes()} "
+          f"({result.kmeans.n_iters} iterations, "
+          f"converged={result.kmeans.converged})")
     return 0
 
 
@@ -219,6 +306,7 @@ _COMMANDS = {
     "tfidf": _cmd_tfidf,
     "kmeans": _cmd_kmeans,
     "workflow": _cmd_workflow,
+    "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
     "analyze": _cmd_analyze,
 }
@@ -227,7 +315,11 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

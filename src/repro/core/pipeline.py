@@ -1,0 +1,76 @@
+"""Real (wall-clock) fused pipeline: TF/IDF → K-means on a backend.
+
+The simulated workflow (:mod:`repro.core.workflow`) answers scaling
+questions in virtual time; this module is its real-execution twin. It
+runs the same fused TF/IDF → K-means composition — scores handed over in
+memory, no ARFF round trip — on an actual
+:class:`~repro.exec.inline.ExecutionBackend`, timing each phase with the
+host's wall clock. It is the engine behind ``python -m repro pipeline``
+and the wall-clock benchmark (:mod:`repro.bench.wallclock`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.inline import ExecutionBackend
+from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
+from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator, TfIdfResult
+from repro.ops.wordcount import PHASE_INPUT_WC
+from repro.text.corpus import Corpus
+
+__all__ = ["RealRunResult", "run_pipeline"]
+
+
+@dataclass
+class RealRunResult:
+    """Outcome of one real fused run, with wall-clock phase timings."""
+
+    tfidf: TfIdfResult
+    kmeans: KMeansResult
+    #: Wall-clock seconds per phase, keyed by the paper's phase names.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    backend_name: str = "sequential"
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+def run_pipeline(
+    corpus: Corpus,
+    backend: ExecutionBackend | None = None,
+    tfidf: TfIdfOperator | None = None,
+    kmeans: KMeansOperator | None = None,
+) -> RealRunResult:
+    """Run the fused workflow for real and time its phases.
+
+    ``backend=None`` runs the legacy inline path (the reference for the
+    bit-identical-output guarantee). Operators default to the paper's
+    configuration (``map`` dictionaries, K=8).
+    """
+    tfidf = tfidf or TfIdfOperator()
+    kmeans = kmeans or KMeansOperator()
+    texts = [doc.text for doc in corpus]
+    seconds: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    wc = tfidf.wordcount.run(texts, backend=backend)
+    t1 = time.perf_counter()
+    seconds[PHASE_INPUT_WC] = t1 - t0
+
+    scores = tfidf.transform_wordcount(wc, backend=backend)
+    t2 = time.perf_counter()
+    seconds[PHASE_TRANSFORM] = t2 - t1
+
+    clusters = kmeans.fit(scores.matrix, backend=backend)
+    t3 = time.perf_counter()
+    seconds[PHASE_KMEANS] = t3 - t2
+
+    return RealRunResult(
+        tfidf=scores,
+        kmeans=clusters,
+        phase_seconds=seconds,
+        backend_name=backend.name if backend is not None else "inline",
+    )

@@ -8,6 +8,7 @@ plain real executors for functional runs.
 
 from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
 from repro.exec.machine import MachineSpec, fast_ssd_node, paper_node
+from repro.exec.process import BACKEND_CHOICES, ProcessBackend, make_backend
 from repro.exec.metrics import (
     Timeline,
     WorkSpan,
@@ -38,4 +39,7 @@ __all__ = [
     "ExecutionBackend",
     "SequentialBackend",
     "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "BACKEND_CHOICES",
 ]

@@ -4,7 +4,19 @@ The simulator answers "how would this scale on a 16-core node"; these
 backends simply *run* the operators on the host for functional use —
 examples, correctness tests, and real-data workloads. ``ThreadBackend``
 uses a thread pool, which on CPython mostly helps I/O-bound stages but
-keeps the operators' code paths identical to the simulated runs.
+keeps the operators' code paths identical to the simulated runs; the
+process pool in :mod:`repro.exec.process` delivers real multi-core
+speedups.
+
+All backends share one protocol:
+
+* :meth:`ExecutionBackend.configure` installs per-worker state (tokenizer,
+  vocabulary, prepared matrix) *once per phase* instead of shipping it
+  with every task;
+* :meth:`ExecutionBackend.map` applies a function over items in input
+  order, submitting **chunks** of items per task (Cilk-style grain, via
+  :func:`repro.exec.parallel.auto_grain`) so per-task overhead — future
+  bookkeeping for threads, pickling for processes — is amortized.
 """
 
 from __future__ import annotations
@@ -13,20 +25,58 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.exec.parallel import auto_grain
 
-__all__ = ["ExecutionBackend", "SequentialBackend", "ThreadBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ThreadBackend",
+    "apply_chunk",
+]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+
+def apply_chunk(fn: Callable, chunk: Sequence) -> list:
+    """Apply ``fn`` to every item of ``chunk`` (the per-task trampoline).
+
+    Module-level so process backends can pickle it once per submitted
+    chunk; the thread backend reuses it so all backends share one path.
+    """
+    return [fn(item) for item in chunk]
+
+
+def _as_list(items: Iterable) -> list:
+    return items if isinstance(items, list) else list(items)
 
 
 class ExecutionBackend:
     """Interface: map a function over items, preserving input order."""
 
     name = "abstract"
+    #: Degree of real parallelism the backend targets (1 for sequential).
+    workers = 1
+
+    def configure(
+        self, initializer: Callable[..., None], initargs: tuple = ()
+    ) -> None:
+        """Install per-worker state for the next phase of ``map`` calls.
+
+        In-process backends (sequential, threads) run ``initializer`` once
+        right here; the process backend runs it once inside every pool
+        worker. Kernels retrieve the state through module-level globals
+        (see :mod:`repro.ops.kernels`), so the same kernel code runs
+        unchanged on every backend.
+        """
+        initializer(*initargs)
 
     def map(
-        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        *,
+        grain: int | None = None,
     ) -> list[ResultT]:
         raise NotImplementedError
 
@@ -45,12 +95,18 @@ class SequentialBackend(ExecutionBackend):
 
     name = "sequential"
 
-    def map(self, fn, items):
-        return [fn(item) for item in items]
+    def map(self, fn, items, *, grain=None):
+        return [fn(item) for item in _as_list(items)]
 
 
 class ThreadBackend(ExecutionBackend):
-    """Runs the loop on a pool of OS threads."""
+    """Runs the loop on a pool of OS threads.
+
+    ``map`` submits one future per *chunk* of items, not per item: with
+    small loop bodies the executor's per-future bookkeeping otherwise
+    swamps the work itself. The default grain targets ~8 chunks per
+    worker (:func:`~repro.exec.parallel.auto_grain`).
+    """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -64,14 +120,25 @@ class ThreadBackend(ExecutionBackend):
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
-    def map(self, fn, items):
-        if not isinstance(items, Sequence):
-            items = list(items)
+    def map(self, fn, items, *, grain=None):
+        items = _as_list(items)
         if len(items) <= 1 or self.workers == 1:
             return [fn(item) for item in items]
-        return list(self._ensure_pool().map(fn, items))
+        if grain is None:
+            grain = auto_grain(len(items), self.workers)
+        if grain < 1:
+            raise ConfigurationError(f"grain must be >= 1, got {grain}")
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(apply_chunk, fn, items[start : start + grain])
+            for start in range(0, len(items), grain)
+        ]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

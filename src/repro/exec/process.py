@@ -1,0 +1,153 @@
+"""Process-pool execution backend: real multi-core parallelism.
+
+CPython's GIL caps :class:`~repro.exec.inline.ThreadBackend` at one core
+for pure-Python operator loops; this module runs them on a pool of worker
+*processes* instead — the reproduction's answer to the paper's Cilkplus
+node for hosts where the simulation is not enough and the wall clock is
+what counts.
+
+Design points (see ``docs/backends.md`` for the cost model):
+
+* **Chunk-batched IPC.** ``map`` pickles one task per *chunk* of items
+  (Cilk-style grain via :func:`~repro.exec.parallel.auto_grain`), so the
+  per-task pickle/unpickle round trip is amortized over the whole chunk
+  instead of being paid per document.
+* **Per-worker initializer.** Phase-constant state (tokenizer, stopword
+  table, vocabulary, prepared matrix) is shipped once per worker through
+  :meth:`ProcessBackend.configure`, not serialized into every task.
+  Reconfiguring with different state recycles the pool — one cheap pool
+  generation per phase, not per task.
+* **Order preservation.** Results are collected in submission order, so
+  ``map`` output is aligned with its input no matter which worker
+  finished first.
+* **Exception transparency.** An exception raised by the mapped function
+  propagates to the caller (pickled across the process boundary); the
+  pool stays usable for subsequent ``map`` calls. A crashed worker
+  (``BrokenProcessPool``) resets the pool so the next call starts fresh.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.exec.inline import (
+    ExecutionBackend,
+    SequentialBackend,
+    ThreadBackend,
+    _as_list,
+    apply_chunk,
+)
+from repro.exec.parallel import auto_grain
+
+__all__ = ["ProcessBackend", "make_backend", "BACKEND_CHOICES", "default_start_method"]
+
+#: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
+BACKEND_CHOICES = ("sequential", "threads", "processes")
+
+
+def default_start_method() -> str:
+    """Pick the cheapest available start method.
+
+    ``fork`` makes worker start-up and initializer shipping nearly free on
+    Linux (pages are shared copy-on-write); elsewhere we fall back to the
+    platform default (``spawn`` on macOS/Windows), which requires the
+    initializer and kernels to be importable module-level functions —
+    which all of :mod:`repro.ops.kernels` are.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Runs operator loops on a pool of worker processes."""
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.name = f"processes-{workers}"
+        self._start_method = start_method or default_start_method()
+        self._pool: ProcessPoolExecutor | None = None
+        #: (initializer, initargs) the *current* pool generation was built
+        #: with; ``configure`` compares against it to avoid restarts when
+        #: the same phase maps repeatedly.
+        self._init: tuple[Callable[..., None], tuple] | None = None
+
+    # -- pool lifecycle ----------------------------------------------------------
+
+    def configure(self, initializer, initargs=()) -> None:
+        """Ship per-worker state; recycles the pool only when it changed.
+
+        Sameness is judged by identity (the initializer function and each
+        initarg), not equality — initargs may hold numpy arrays, and
+        callers that did not change the state pass the same objects.
+        """
+        if self._pool is not None and self._init is not None:
+            prev_fn, prev_args = self._init
+            if (
+                prev_fn is initializer
+                and len(prev_args) == len(initargs)
+                and all(a is b for a, b in zip(prev_args, initargs))
+            ):
+                return
+        self.close()
+        self._init = (initializer, initargs)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            initializer, initargs = self._init or (None, ())
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self._start_method),
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- execution ---------------------------------------------------------------
+
+    def map(self, fn, items, *, grain=None):
+        items = _as_list(items)
+        if not items:
+            return []
+        if grain is None:
+            grain = auto_grain(len(items), self.workers)
+        if grain < 1:
+            raise ConfigurationError(f"grain must be >= 1, got {grain}")
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(apply_chunk, fn, items[start : start + grain])
+            for start in range(0, len(items), grain)
+        ]
+        results: list = []
+        try:
+            for future in futures:
+                results.extend(future.result())
+        except BrokenProcessPool:
+            # A worker died (segfault, OOM kill): the pool is unusable.
+            # Reset so the next map starts a fresh generation.
+            self.close()
+            raise
+        return results
+
+
+def make_backend(name: str, workers: int = 1) -> ExecutionBackend:
+    """Build a backend from its CLI name (one of :data:`BACKEND_CHOICES`)."""
+    if name == "sequential":
+        return SequentialBackend()
+    if name == "threads":
+        return ThreadBackend(workers)
+    if name == "processes":
+        return ProcessBackend(workers)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_CHOICES)}"
+    )

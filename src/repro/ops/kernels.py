@@ -1,0 +1,158 @@
+"""Picklable chunk kernels for the real execution backends.
+
+Every function here is module-level so a :class:`~repro.exec.process.ProcessBackend`
+can ship it to worker processes by reference. Phase-constant state
+(tokenizer, vocabulary, prepared matrix) is installed once per worker by
+the ``init_*`` functions — dispatched through
+:meth:`~repro.exec.inline.ExecutionBackend.configure` — and read back from
+a module-level slot by the chunk kernels, so each submitted task carries
+only its chunk of data. In-process backends (sequential, threads) run the
+same initializers and kernels against the parent's copy of the slot, which
+keeps a single code path across all backends.
+
+The kernels use plain builtin dicts and numpy internally (instrumented
+dictionaries would only be pickling dead weight across the IPC boundary)
+but replicate the legacy operators' arithmetic exactly — same term
+counts, same ``count * idf`` products, same sort orders, same centroid
+accumulation grouping — so operator output is byte-identical across
+backends and against the inline reference path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OperatorError
+from repro.sparse.vector import SparseVector
+from repro.text.tokenizer import Tokenizer
+
+__all__ = [
+    "init_wordcount_worker",
+    "count_chunk",
+    "init_transform_worker",
+    "transform_chunk",
+    "init_kmeans_worker",
+    "assign_chunk",
+]
+
+#: Per-worker state installed by the ``init_*`` functions. Keyed by phase
+#: so a backend reconfigured mid-workflow cannot read stale state of a
+#: different kernel family.
+_STATE: dict[str, tuple] = {}
+
+
+# -- word count (TF/IDF phase 1) ------------------------------------------------------
+
+
+def init_wordcount_worker(tokenizer: Tokenizer) -> None:
+    """Install the tokenizer (with its stopword/length config) once."""
+    _STATE["wordcount"] = (tokenizer,)
+
+
+def count_chunk(
+    texts: list[str],
+) -> tuple[list[list[tuple[str, int]]], list[int], list[tuple[str, int]]]:
+    """Count one chunk of documents.
+
+    Returns per-document sorted term-frequency entries, per-document token
+    counts, and the chunk's partial document-frequency table (sorted
+    entries) — one pickle for the whole chunk on the way back.
+    """
+    (tokenizer,) = _STATE["wordcount"]
+    doc_entries: list[list[tuple[str, int]]] = []
+    token_counts: list[int] = []
+    df: dict[str, int] = {}
+    for text in texts:
+        tokens = tokenizer.tokenize(text).tokens
+        tf: dict[str, int] = {}
+        for token in tokens:
+            tf[token] = tf.get(token, 0) + 1
+        doc_entries.append(sorted(tf.items()))
+        token_counts.append(len(tokens))
+        for term in tf:
+            df[term] = df.get(term, 0) + 1
+    return doc_entries, token_counts, sorted(df.items())
+
+
+# -- TF/IDF transform (phase 2a) ------------------------------------------------------
+
+
+def init_transform_worker(
+    vocabulary: list[str], idf: list[float], min_df: int
+) -> None:
+    """Build the term → id index once per worker from the vocabulary."""
+    index = {term: term_id for term_id, term in enumerate(vocabulary)}
+    _STATE["transform"] = (index, idf, min_df)
+
+
+def transform_chunk(
+    chunk: list[list[tuple[str, int]]]
+) -> list[SparseVector]:
+    """Normalized TF/IDF vectors for one chunk of TF entry lists.
+
+    Mirrors :meth:`repro.ops.tfidf.TfIdfOperator.transform_document`
+    term-for-term: same ``count * idf`` products, same sort, same
+    normalization — the output is bit-identical to the inline path.
+    """
+    index, idf, min_df = _STATE["transform"]
+    vectors: list[SparseVector] = []
+    for entries in chunk:
+        pairs: list[tuple[int, float]] = []
+        for term, count in entries:
+            term_id = index.get(term)
+            if term_id is None:
+                if min_df > 1:
+                    continue  # pruned below the document-frequency cutoff
+                raise OperatorError(f"term {term!r} missing from vocabulary index")
+            pairs.append((term_id, count * idf[term_id]))
+        pairs.sort()
+        vector = SparseVector(
+            [term_id for term_id, _ in pairs], [score for _, score in pairs]
+        )
+        vectors.append(vector.normalized())
+    return vectors
+
+
+# -- K-means assignment ----------------------------------------------------------------
+
+
+def init_kmeans_worker(
+    indices: list[np.ndarray], values: list[np.ndarray], sq_norms: list[float]
+) -> None:
+    """Install the prepared document views once per worker (per fit)."""
+    _STATE["kmeans"] = (indices, values, sq_norms)
+
+
+def assign_chunk(
+    task: tuple[int, int, np.ndarray, np.ndarray]
+) -> tuple[list[int], np.ndarray, np.ndarray, float]:
+    """Assign documents ``[start, stop)`` to their nearest centroid.
+
+    ``task`` carries the block bounds plus the iteration's centroids and
+    centroid squared norms (the only per-iteration data). Returns the
+    block's assignments, its partial centroid accumulator, per-cluster
+    counts and inertia contribution. Blocks are worker-independent, and
+    the caller merges partials in fixed block order, so the floating-point
+    result does not depend on the backend or worker count.
+    """
+    start, stop, centroids, centroid_sq_norms = task
+    indices, values, sq_norms = _STATE["kmeans"]
+    K = centroids.shape[0]
+    partial = np.zeros_like(centroids)
+    counts = np.zeros(K, dtype=np.int64)
+    assignments: list[int] = []
+    inertia = 0.0
+    for doc in range(start, stop):
+        idx = indices[doc]
+        val = values[doc]
+        if len(idx):
+            dots = centroids[:, idx] @ val
+        else:
+            dots = np.zeros(K)
+        distances = sq_norms[doc] - 2.0 * dots + centroid_sq_norms
+        best = int(np.argmin(distances))
+        assignments.append(best)
+        inertia += float(max(0.0, distances[best]))
+        partial[best, idx] += val
+        counts[best] += 1
+    return assignments, partial, counts, inertia

@@ -45,10 +45,12 @@ from repro.core.cost_model import (
     WorkloadScale,
 )
 from repro.errors import OperatorError
+from repro.exec.inline import ExecutionBackend
 from repro.exec.machine import MachineSpec
 from repro.exec.metrics import Timeline
 from repro.exec.scheduler import SimScheduler
 from repro.exec.task import TaskCost
+from repro.ops import kernels
 from repro.sparse.matrix import CsrMatrix
 
 __all__ = ["KMeansResult", "KMeansOperator", "PHASE_KMEANS", "KMEANS_GRAIN_DOCS"]
@@ -374,7 +376,89 @@ class KMeansOperator:
 
     # -- functional execution ---------------------------------------------------------
 
-    def fit(self, matrix: CsrMatrix) -> KMeansResult:
-        """Cluster without caring about timings (single simulated core)."""
+    def fit(
+        self, matrix: CsrMatrix, backend: ExecutionBackend | None = None
+    ) -> KMeansResult:
+        """Cluster without caring about timings (single simulated core).
+
+        With a ``backend``, Lloyd's iterations run for real on it (wall
+        clock, no virtual-time accounting): the assignment loop is split
+        into fixed blocks whose partial centroid accumulators are merged
+        in block order, so assignments and centroids are bit-identical
+        across backends and worker counts.
+        """
+        if backend is not None:
+            return self._fit_backend(matrix, backend)
         scheduler = SimScheduler(MachineSpec(cores=1, name="functional"))
         return self.run_simulated(scheduler, matrix, workers=1)
+
+    def _fit_backend(
+        self, matrix: CsrMatrix, backend: ExecutionBackend
+    ) -> KMeansResult:
+        K = self.n_clusters
+        prepared = _Prepared(matrix)
+        centroids = self._init_centroids(matrix, prepared)
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+        sq_norms = prepared.sq_norms
+
+        # Block bounds depend only on the document count (not on the
+        # backend's worker count): floating-point accumulation order is
+        # fixed, which is what makes the output backend-invariant. At
+        # most 64 blocks keeps the per-task centroid shipping bounded.
+        n_docs = prepared.n_docs
+        grain = max(32, -(-n_docs // 64))
+        bounds = [
+            (start, min(start + grain, n_docs))
+            for start in range(0, n_docs, grain)
+        ]
+        backend.configure(
+            kernels.init_kmeans_worker,
+            (prepared.indices, prepared.values, sq_norms),
+        )
+
+        assignments = [-1] * n_docs
+        previous = list(assignments)
+        inertia = 0.0
+        converged = False
+        n_iters = 0
+        inertia_history: list[float] = []
+        for _ in range(self.max_iters):
+            n_iters += 1
+            tasks = [
+                (start, stop, centroids, centroid_sq_norms)
+                for start, stop in bounds
+            ]
+            block_results = backend.map(kernels.assign_chunk, tasks, grain=1)
+
+            # Merge in fixed block order (deterministic float grouping).
+            merged = np.zeros_like(centroids)
+            merged_counts = np.zeros(K, dtype=np.int64)
+            inertia = 0.0
+            for (start, _), (block_assign, partial, counts, block_inertia) in zip(
+                bounds, block_results
+            ):
+                assignments[start : start + len(block_assign)] = block_assign
+                merged += partial
+                merged_counts += counts
+                inertia += block_inertia
+            inertia_history.append(inertia)
+
+            for k in range(K):
+                if merged_counts[k] > 0:
+                    centroids[k] = merged[k] / merged_counts[k]
+                # Empty cluster: previous centroid is kept (recycled buffer).
+            centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+
+            if assignments == previous:
+                converged = True
+                break
+            previous = list(assignments)
+
+        return KMeansResult(
+            assignments=assignments,
+            centroids=centroids,
+            n_iters=n_iters,
+            inertia=inertia,
+            converged=converged,
+            inertia_history=inertia_history,
+        )

@@ -31,9 +31,12 @@ from repro.dicts.api import Dictionary
 from repro.dicts.cost import profile_for_kind
 from repro.dicts.factory import make_dict
 from repro.errors import OperatorError
+from repro.exec.inline import ExecutionBackend
 from repro.exec.metrics import Timeline
+from repro.exec.parallel import auto_grain
 from repro.exec.scheduler import SimScheduler
 from repro.exec.task import TaskCost
+from repro.ops import kernels
 from repro.io.arff import arff_lines
 from repro.io.corpus_io import corpus_paths
 from repro.io.storage import Storage
@@ -311,18 +314,54 @@ class TfIdfOperator:
 
     # -- functional execution ---------------------------------------------------------------
 
-    def fit_transform(self, corpus: Corpus) -> TfIdfResult:
+    def fit_transform(
+        self, corpus: Corpus, backend: ExecutionBackend | None = None
+    ) -> TfIdfResult:
         """Compute TF/IDF for an in-memory corpus (no simulation).
 
         The returned result has an empty timeline; use
-        :meth:`run_simulated` for performance studies.
+        :meth:`run_simulated` for performance studies. With a ``backend``
+        both parallel phases (word count and transform) run on it; the
+        output matrix is bit-identical to the inline path regardless of
+        backend or worker count.
         """
-        wc = self.wordcount.run([doc.text for doc in corpus])
+        wc = self.wordcount.run([doc.text for doc in corpus], backend=backend)
+        return self.transform_wordcount(wc, backend=backend)
+
+    def transform_wordcount(
+        self, wc: WordCountResult, backend: ExecutionBackend | None = None
+    ) -> TfIdfResult:
+        """Phase 2a over an existing word-count result (no simulation).
+
+        The vocabulary/idf/index build stays serial (it is the phase's
+        serial prefix in the paper too); the per-document transform runs
+        on the backend in chunks, shipping the vocabulary to each worker
+        once via the backend's initializer rather than per task.
+        """
         scratch = TaskCost()
         vocabulary, idf, index = self.build_vocabulary(wc, scratch)
-        rows = [
-            self.transform_document(tf, index, idf, scratch) for tf in wc.doc_tfs
-        ]
+        if backend is None:
+            rows = [
+                self.transform_document(tf, index, idf, scratch)
+                for tf in wc.doc_tfs
+            ]
+        else:
+            backend.configure(
+                kernels.init_transform_worker, (vocabulary, idf, self.min_df)
+            )
+            entry_lists = [list(tf.items()) for tf in wc.doc_tfs]
+            grain = auto_grain(len(entry_lists), backend.workers)
+            chunks = [
+                entry_lists[at : at + grain]
+                for at in range(0, len(entry_lists), grain)
+            ]
+            rows = [
+                row
+                for chunk_rows in backend.map(
+                    kernels.transform_chunk, chunks, grain=1
+                )
+                for row in chunk_rows
+            ]
         return TfIdfResult(
             matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
             vocabulary=vocabulary,

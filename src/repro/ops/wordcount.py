@@ -20,9 +20,13 @@ from repro.core.cost_model import DEFAULT_COSTS, UNIT_SCALE, CostConstants, Work
 from repro.dicts.api import Dictionary
 from repro.dicts.cost import DictCostProfile, profile_for_kind
 from repro.dicts.factory import make_dict
+from repro.dicts.snapshot import SnapshotDict
+from repro.exec.inline import ExecutionBackend
+from repro.exec.parallel import auto_grain
 from repro.exec.scheduler import PhaseTiming, SimScheduler
 from repro.exec.task import TaskCost
 from repro.io.storage import Storage
+from repro.ops import kernels
 from repro.text.tokenizer import Tokenizer
 
 __all__ = ["WordCountResult", "WordCountStep", "PHASE_INPUT_WC"]
@@ -224,8 +228,21 @@ class WordCountStep:
 
     # -- functional execution ---------------------------------------------------------------
 
-    def run(self, texts: list[str]) -> WordCountResult:
-        """Count a list of in-memory texts (no storage, no simulation)."""
+    def run(
+        self, texts: list[str], backend: ExecutionBackend | None = None
+    ) -> WordCountResult:
+        """Count a list of in-memory texts (no storage, no simulation).
+
+        With a ``backend``, the per-document counting runs on it in
+        Cilk-grain chunks (real parallelism on
+        :class:`~repro.exec.process.ProcessBackend`); term and document
+        frequencies are identical to the inline path, but the returned
+        dictionaries are uninstrumented
+        :class:`~repro.dicts.snapshot.SnapshotDict` views — use the
+        simulated path when op stats matter.
+        """
+        if backend is not None:
+            return self._run_backend(texts, backend)
         df = make_dict(self.dict_kind, self.reserve)
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []
@@ -234,6 +251,42 @@ class WordCountStep:
             tf, n_tokens = self.count_document(text, df, scratch)
             doc_tfs.append(tf)
             doc_tokens.append(n_tokens)
+        return WordCountResult(
+            paths=[f"mem-{i}" for i in range(len(texts))],
+            doc_tfs=doc_tfs,
+            doc_token_counts=doc_tokens,
+            df=df,
+            dict_kind=self.dict_kind,
+            input_bytes=sum(len(t) for t in texts),
+            total_tokens=sum(doc_tokens),
+            scale=self.scale,
+        )
+
+    def _run_backend(
+        self, texts: list[str], backend: ExecutionBackend
+    ) -> WordCountResult:
+        """Chunked word count on a real backend (phase-1 parallel loop).
+
+        Each chunk is one task: the worker tokenizes and counts its
+        documents and pre-aggregates a partial document-frequency table,
+        so the parent only merges one small table per chunk (plain integer
+        adds — order-independent) instead of re-counting per document.
+        """
+        backend.configure(kernels.init_wordcount_worker, (self.tokenizer,))
+        grain = auto_grain(len(texts), backend.workers)
+        chunks = [texts[at : at + grain] for at in range(0, len(texts), grain)]
+        parts = backend.map(kernels.count_chunk, chunks, grain=1)
+
+        doc_tfs: list[Dictionary] = []
+        doc_tokens: list[int] = []
+        df_total: dict[str, int] = {}
+        for doc_entries, token_counts, df_entries in parts:
+            for entries in doc_entries:
+                doc_tfs.append(SnapshotDict(entries, kind=self.dict_kind))
+            doc_tokens.extend(token_counts)
+            for term, count in df_entries:
+                df_total[term] = df_total.get(term, 0) + count
+        df = SnapshotDict(sorted(df_total.items()), kind=self.dict_kind)
         return WordCountResult(
             paths=[f"mem-{i}" for i in range(len(texts))],
             doc_tfs=doc_tfs,

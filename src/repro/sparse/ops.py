@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.sparse.vector import SparseVector
 
 __all__ = [
@@ -22,20 +24,29 @@ __all__ = [
 
 
 def dense_squared_norm(dense: Sequence[float]) -> float:
-    """Sum of squares of a dense buffer."""
-    return sum(v * v for v in dense)
+    """Sum of squares of a dense buffer (vectorized; accepts any sequence)."""
+    buffer = np.asarray(dense, dtype=np.float64)
+    return float(buffer @ buffer)
 
 
 def scale_dense(dense, factor: float) -> None:
-    """Multiply a mutable dense buffer by ``factor`` in place."""
-    for i in range(len(dense)):
-        dense[i] *= factor
+    """Multiply a mutable dense buffer by ``factor`` in place.
+
+    Numpy arrays are scaled without a copy; plain lists go through one
+    vectorized round trip (still far cheaper than a Python loop).
+    """
+    if isinstance(dense, np.ndarray):
+        dense *= factor
+        return
+    dense[:] = (np.asarray(dense, dtype=np.float64) * factor).tolist()
 
 
 def zero_dense(dense) -> None:
     """Clear a mutable dense buffer in place (recycling, not reallocating)."""
-    for i in range(len(dense)):
-        dense[i] = 0.0
+    if isinstance(dense, np.ndarray):
+        dense.fill(0.0)
+        return
+    dense[:] = [0.0] * len(dense)
 
 
 def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
@@ -72,10 +83,15 @@ def nearest_centroid(
 
 
 def mean_of_rows(rows: Sequence[SparseVector], size: int) -> list[float]:
-    """Dense mean of sparse rows (used by tests and the dense baseline)."""
-    buffer = [0.0] * size
+    """Dense mean of sparse rows (used by tests and the dense baseline).
+
+    Accumulates into a numpy buffer (vectorized scatter-add per row) and
+    returns a plain list, as before.
+    """
+    buffer = np.zeros(size, dtype=np.float64)
     for row in rows:
-        row.add_into_dense(buffer)
+        if row.indices:
+            buffer[row.indices] += row.values
     if rows:
-        scale_dense(buffer, 1.0 / len(rows))
-    return buffer
+        buffer *= 1.0 / len(rows)
+    return buffer.tolist()

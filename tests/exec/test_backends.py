@@ -1,0 +1,167 @@
+"""Real execution backends: chunking, ordering, errors, pool lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.inline import SequentialBackend, ThreadBackend, apply_chunk
+from repro.exec.process import (
+    BACKEND_CHOICES,
+    ProcessBackend,
+    make_backend,
+)
+
+# Module-level so the process backend can pickle them by reference.
+_WORKER_STATE = {}
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x
+
+
+def _install_offset(offset):
+    _WORKER_STATE["offset"] = offset
+
+
+def _add_offset(x):
+    return x + _WORKER_STATE["offset"]
+
+
+class TestApplyChunk:
+    def test_applies_in_order(self):
+        assert apply_chunk(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+class TestSequentialBackend:
+    def test_map(self):
+        assert SequentialBackend().map(_square, range(5)) == [0, 1, 4, 9, 16]
+
+    def test_configure_runs_inline(self):
+        backend = SequentialBackend()
+        backend.configure(_install_offset, (10,))
+        assert backend.map(_add_offset, [1, 2]) == [11, 12]
+
+
+class TestThreadBackend:
+    def test_chunked_map_preserves_order(self):
+        with ThreadBackend(4) as backend:
+            assert backend.map(_square, range(100)) == [x * x for x in range(100)]
+
+    def test_explicit_grain(self):
+        with ThreadBackend(2) as backend:
+            assert backend.map(_square, range(10), grain=3) == [
+                x * x for x in range(10)
+            ]
+
+    def test_rejects_bad_grain(self):
+        with ThreadBackend(2) as backend:
+            with pytest.raises(ConfigurationError):
+                backend.map(_square, range(10), grain=0)
+
+    def test_exception_propagates_and_pool_survives(self):
+        backend = ThreadBackend(2)
+        with pytest.raises(ValueError, match="boom at 3"):
+            backend.map(_fail_on_three, range(10), grain=1)
+        # The pool is still usable after a failed map ...
+        assert backend.map(_square, range(4), grain=1) == [0, 1, 4, 9]
+        # ... and close is safe afterwards, twice.
+        backend.close()
+        backend.close()
+
+    def test_close_after_failed_map(self):
+        backend = ThreadBackend(2)
+        with pytest.raises(ValueError):
+            backend.map(_fail_on_three, range(10), grain=1)
+        backend.close()
+        assert backend._pool is None
+
+    def test_pool_reused_across_maps(self):
+        backend = ThreadBackend(2)
+        backend.map(_square, range(10))
+        pool = backend._pool
+        backend.map(_square, range(10))
+        assert backend._pool is pool
+        backend.close()
+
+    def test_configure_runs_inline(self):
+        with ThreadBackend(2) as backend:
+            backend.configure(_install_offset, (5,))
+            assert backend.map(_add_offset, range(10), grain=2) == [
+                x + 5 for x in range(10)
+            ]
+
+
+class TestProcessBackend:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(0)
+
+    def test_map_preserves_order(self):
+        with ProcessBackend(2) as backend:
+            assert backend.map(_square, range(50)) == [x * x for x in range(50)]
+
+    def test_empty_map_is_trivial(self):
+        with ProcessBackend(2) as backend:
+            assert backend.map(_square, []) == []
+            assert backend._pool is None  # no pool was ever started
+
+    def test_initializer_ships_state_once(self):
+        with ProcessBackend(2) as backend:
+            backend.configure(_install_offset, (100,))
+            assert backend.map(_add_offset, range(10), grain=2) == [
+                x + 100 for x in range(10)
+            ]
+
+    def test_configure_same_state_keeps_pool(self):
+        with ProcessBackend(2) as backend:
+            args = (7,)
+            backend.configure(_install_offset, args)
+            backend.map(_add_offset, [1])
+            pool = backend._pool
+            backend.configure(_install_offset, args)
+            assert backend._pool is pool
+            backend.configure(_install_offset, (8,))
+            assert backend._pool is None  # recycled for the new state
+            assert backend.map(_add_offset, [1]) == [9]
+
+    def test_pool_reused_across_maps(self):
+        with ProcessBackend(2) as backend:
+            backend.map(_square, range(10))
+            pool = backend._pool
+            assert backend.map(_square, range(10)) == [x * x for x in range(10)]
+            assert backend._pool is pool
+
+    def test_worker_exception_propagates(self):
+        backend = ProcessBackend(2)
+        try:
+            with pytest.raises(ValueError, match="boom at 3"):
+                backend.map(_fail_on_three, range(10), grain=1)
+            # Pool survives an ordinary task exception.
+            assert backend.map(_square, range(4)) == [0, 1, 4, 9]
+        finally:
+            backend.close()
+        backend.close()  # idempotent
+
+
+class TestMakeBackend:
+    def test_choices(self):
+        assert BACKEND_CHOICES == ("sequential", "threads", "processes")
+
+    def test_builds_each_kind(self):
+        assert isinstance(make_backend("sequential"), SequentialBackend)
+        threads = make_backend("threads", 3)
+        assert isinstance(threads, ThreadBackend) and threads.workers == 3
+        processes = make_backend("processes", 2)
+        assert isinstance(processes, ProcessBackend) and processes.workers == 2
+        processes.close()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("gpu", 2)

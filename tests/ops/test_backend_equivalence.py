@@ -1,0 +1,194 @@
+"""Cross-backend equivalence: identical operator output on every backend.
+
+The contract of the real execution subsystem is that backend choice and
+worker count change *wall-clock time only*: TF/IDF matrices, vocabularies,
+idf tables and K-means assignments must be bit-identical across
+sequential, threads and processes — and identical to the inline
+(backend-free) reference path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.exec.process import make_backend
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.ops.wordcount import WordCountStep
+from repro.text.synth import MIX_PROFILE, generate_corpus
+from repro.text.tokenizer import Tokenizer
+
+BACKENDS = ("sequential", "threads", "processes")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.002, seed=7)
+
+
+@pytest.fixture(scope="module")
+def texts(corpus):
+    return [doc.text for doc in corpus]
+
+
+def _matrix_entries(result):
+    return [
+        (tuple(row.indices), tuple(row.values))
+        for row in result.matrix.iter_rows()
+    ]
+
+
+def run_backend(name, fn, workers=2):
+    backend = make_backend(name, workers)
+    try:
+        return fn(backend)
+    finally:
+        backend.close()
+
+
+class TestWordCountEquivalence:
+    def test_df_and_tokens_match_inline(self, texts):
+        step = WordCountStep()
+        inline = step.run(texts)
+        for name in BACKENDS:
+            result = run_backend(name, lambda b: step.run(texts, backend=b))
+            assert result.df.to_dict() == inline.df.to_dict()
+            assert result.doc_token_counts == inline.doc_token_counts
+            assert result.total_tokens == inline.total_tokens
+            assert result.input_bytes == inline.input_bytes
+
+    def test_doc_tfs_preserve_input_order(self, texts):
+        step = WordCountStep()
+        inline = step.run(texts)
+        result = run_backend(
+            "processes", lambda b: step.run(texts, backend=b), workers=3
+        )
+        assert len(result.doc_tfs) == len(texts)
+        for ours, reference in zip(result.doc_tfs, inline.doc_tfs):
+            assert ours.to_dict() == reference.to_dict()
+
+
+class TestTfIdfEquivalence:
+    @pytest.mark.parametrize("dict_kind", ["map", "unordered_map"])
+    def test_matrix_identical_across_backends(self, corpus, dict_kind):
+        reference = TfIdfOperator(wc_dict_kind=dict_kind).fit_transform(corpus)
+        ref_entries = _matrix_entries(reference)
+        for name in BACKENDS:
+            result = run_backend(
+                name,
+                lambda b: TfIdfOperator(wc_dict_kind=dict_kind).fit_transform(
+                    corpus, backend=b
+                ),
+            )
+            assert result.vocabulary == reference.vocabulary
+            assert result.idf == reference.idf
+            assert _matrix_entries(result) == ref_entries
+
+    def test_min_df_pruning_matches_inline(self, corpus):
+        operator_args = dict(min_df=2, tokenizer=Tokenizer(drop_stopwords=True))
+        reference = TfIdfOperator(**operator_args).fit_transform(corpus)
+        result = run_backend(
+            "processes",
+            lambda b: TfIdfOperator(**operator_args).fit_transform(
+                corpus, backend=b
+            ),
+        )
+        assert result.vocabulary == reference.vocabulary
+        assert _matrix_entries(result) == _matrix_entries(reference)
+
+
+class TestKMeansEquivalence:
+    def test_assignments_identical_across_backends(self, corpus):
+        matrix = TfIdfOperator().fit_transform(corpus).matrix
+        results = {
+            name: run_backend(
+                name,
+                lambda b: KMeansOperator(max_iters=4).fit(matrix, backend=b),
+            )
+            for name in BACKENDS
+        }
+        reference = results["sequential"]
+        for name in ("threads", "processes"):
+            assert results[name].assignments == reference.assignments
+            assert (results[name].centroids == reference.centroids).all()
+            assert results[name].inertia_history == reference.inertia_history
+            assert results[name].n_iters == reference.n_iters
+
+    def test_worker_count_does_not_change_output(self, corpus):
+        matrix = TfIdfOperator().fit_transform(corpus).matrix
+        one = run_backend(
+            "processes",
+            lambda b: KMeansOperator(max_iters=4).fit(matrix, backend=b),
+            workers=1,
+        )
+        three = run_backend(
+            "processes",
+            lambda b: KMeansOperator(max_iters=4).fit(matrix, backend=b),
+            workers=3,
+        )
+        assert one.assignments == three.assignments
+        assert (one.centroids == three.centroids).all()
+
+
+class TestPipelineEquivalence:
+    def test_full_pipeline_identical(self, corpus):
+        runs = {
+            name: run_backend(
+                name,
+                lambda b: run_pipeline(
+                    corpus,
+                    backend=b,
+                    tfidf=TfIdfOperator(),
+                    kmeans=KMeansOperator(max_iters=3),
+                ),
+            )
+            for name in BACKENDS
+        }
+        reference = runs["sequential"]
+        for name in ("threads", "processes"):
+            assert (
+                _matrix_entries(runs[name].tfidf)
+                == _matrix_entries(reference.tfidf)
+            )
+            assert (
+                runs[name].kmeans.assignments == reference.kmeans.assignments
+            )
+            assert set(runs[name].phase_seconds) == {
+                "input+wc",
+                "transform",
+                "kmeans",
+            }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup measurement needs a multi-core host",
+)
+def test_process_backend_speeds_up_phase1():
+    """Acceptance: >= 1.5x on the TF/IDF phase-1 loop at 4 workers."""
+    corpus = generate_corpus(MIX_PROFILE, scale=0.05, seed=0)
+    texts = [doc.text for doc in corpus]
+    step = WordCountStep()
+
+    sequential = make_backend("sequential")
+    start = time.perf_counter()
+    step.run(texts, backend=sequential)
+    sequential_s = time.perf_counter() - start
+
+    processes = make_backend("processes", 4)
+    try:
+        step.run(texts[:32], backend=processes)  # warm the pool
+        start = time.perf_counter()
+        step.run(texts, backend=processes)
+        parallel_s = time.perf_counter() - start
+    finally:
+        processes.close()
+
+    assert sequential_s / parallel_s >= 1.5, (
+        f"expected >= 1.5x, got {sequential_s / parallel_s:.2f}x "
+        f"({sequential_s:.3f}s sequential vs {parallel_s:.3f}s at 4 workers)"
+    )

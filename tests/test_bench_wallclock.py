@@ -1,0 +1,73 @@
+"""Wall-clock benchmark harness and its CLI tool."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.bench.wallclock import bench_wallclock
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestBenchWallclock:
+    def test_record_structure_and_equivalence(self):
+        record = bench_wallclock(
+            scale=0.002, workers=(1, 2), repeats=1, kmeans_iters=2
+        )
+        assert record["benchmark"] == "wallclock"
+        assert record["profile"] == "mix"
+        assert record["n_docs"] > 0
+        assert record["host"]["cpu_count"] == os.cpu_count()
+
+        runs = record["runs"]
+        # sequential once, then 2 worker counts x 2 pooled backends.
+        assert len(runs) == 1 + 2 * 2
+        assert runs[0]["backend"] == "sequential"
+        for run in runs:
+            assert run["backend"] in ("sequential", "threads", "processes")
+            assert set(run["phases"]) == {"input+wc", "transform", "kmeans"}
+            assert run["total_s"] > 0
+            assert run["speedup_vs_sequential"] > 0
+            assert run["output_identical"] is True
+
+    def test_single_backend_sweep(self):
+        record = bench_wallclock(
+            scale=0.002, backends=("sequential",), repeats=1, kmeans_iters=1
+        )
+        assert [run["backend"] for run in record["runs"]] == ["sequential"]
+        assert record["runs"][0]["speedup_vs_sequential"] == 1.0
+
+
+class TestBenchWallclockTool:
+    def test_tiny_smoke_writes_json(self, tmp_path):
+        out = tmp_path / "BENCH_wallclock.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(REPO, "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(REPO, "tools", "bench_wallclock.py"),
+                "--tiny",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "wallclock"
+        assert all(run["output_identical"] for run in record["runs"])
+        backends = {run["backend"] for run in record["runs"]}
+        assert backends == {"sequential", "threads", "processes"}
+        for run in record["runs"]:
+            assert {"backend", "workers", "phases", "total_s"} <= set(run)

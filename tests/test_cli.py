@@ -30,6 +30,23 @@ class TestParser:
         assert args.profile == "mix"
         assert args.scale == 0.01
 
+    def test_backend_flags(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--input", "x", "--backend", "processes",
+             "--workers", "4"]
+        )
+        assert args.backend == "processes"
+        assert args.workers == 4
+        args = build_parser().parse_args(["tfidf", "--input", "x",
+                                          "--output", "y"])
+        assert args.backend == "sequential"
+
+    def test_invalid_workers_reports_clean_error(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir, "--backend",
+                     "processes", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "workers" in err
+
 
 class TestGenerate:
     def test_writes_documents(self, corpus_dir):
@@ -62,6 +79,44 @@ class TestDiscretePipeline:
         assert len(lines) == 47
         assignments = [int(line.split("\t")[1]) for line in lines]
         assert set(assignments) <= set(range(4))
+
+
+class TestRealPipeline:
+    @pytest.mark.parametrize("backend", ["sequential", "threads", "processes"])
+    def test_pipeline_runs_on_each_backend(
+        self, corpus_dir, tmp_path, backend, capsys
+    ):
+        clusters = str(tmp_path / f"clusters-{backend}.txt")
+        assert main(["pipeline", "--input", corpus_dir, "--output", clusters,
+                     "--backend", backend, "--workers", "2",
+                     "--max-iters", "3"]) == 0
+        lines = open(clusters).read().strip().splitlines()
+        assert len(lines) == 47
+        out = capsys.readouterr().out
+        assert "input+wc" in out and "kmeans" in out
+
+    def test_pipeline_backends_agree(self, corpus_dir, tmp_path):
+        outputs = {}
+        for backend in ("sequential", "processes"):
+            path = str(tmp_path / f"{backend}.txt")
+            assert main(["pipeline", "--input", corpus_dir, "--output", path,
+                         "--backend", backend, "--workers", "2",
+                         "--max-iters", "3"]) == 0
+            outputs[backend] = open(path).read()
+        assert outputs["sequential"] == outputs["processes"]
+
+    def test_pipeline_writes_arff(self, corpus_dir, tmp_path):
+        arff = str(tmp_path / "scores.arff")
+        assert main(["pipeline", "--input", corpus_dir, "--arff", arff,
+                     "--max-iters", "2"]) == 0
+        relation = read_sparse_arff(open(arff).read())
+        assert relation.rows.n_rows == 47
+
+    def test_pipeline_empty_dir_fails(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        assert main(["pipeline", "--input", empty]) == 1
+        assert "no documents" in capsys.readouterr().err
 
     def test_tfidf_min_df_shrinks_vocabulary(self, corpus_dir, tmp_path):
         full = str(tmp_path / "full.arff")

@@ -1,0 +1,83 @@
+"""Wall-clock benchmark CLI: backends × workers → BENCH_wallclock.json.
+
+Sweeps the real execution backends (sequential, threads, processes) over
+worker counts on the synthetic Mix corpus and records per-phase wall-clock
+seconds — the repo's hardware-performance trajectory. Usage::
+
+    PYTHONPATH=src python tools/bench_wallclock.py                 # full sweep
+    PYTHONPATH=src python tools/bench_wallclock.py --tiny          # CI smoke
+    PYTHONPATH=src python tools/bench_wallclock.py --scale 0.05 \
+        --workers 1 2 4 8 --repeats 3 --out BENCH_wallclock.json
+
+Every run cross-checks that all backends produce identical operator
+output, so a green benchmark is also an equivalence certificate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.bench.wallclock import DEFAULT_WORKER_SWEEP, bench_wallclock  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="corpus scale (fraction of the full profile)")
+    parser.add_argument("--backends", nargs="+",
+                        default=["sequential", "threads", "processes"],
+                        choices=["sequential", "threads", "processes"])
+    parser.add_argument("--workers", nargs="+", type=int,
+                        default=list(DEFAULT_WORKER_SWEEP))
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--kmeans-iters", type=int, default=5)
+    parser.add_argument("--out", default=os.path.join(REPO, "BENCH_wallclock.json"))
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test configuration (seconds, not minutes)")
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        args.scale = min(args.scale, 0.002)
+        args.workers = [w for w in args.workers if w <= 2] or [1, 2]
+        args.repeats = 1
+        args.kmeans_iters = 2
+
+    record = bench_wallclock(
+        profile=args.profile,
+        scale=args.scale,
+        backends=args.backends,
+        workers=args.workers,
+        repeats=args.repeats,
+        seed=args.seed,
+        kmeans_iters=args.kmeans_iters,
+    )
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    print(f"{record['n_docs']} documents, profile={record['profile']} "
+          f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
+    header = f"{'backend':>12} {'workers':>7} {'total_s':>9} {'speedup':>8} identical"
+    print(header)
+    for run in record["runs"]:
+        print(f"{run['backend']:>12} {run['workers']:>7} "
+              f"{run['total_s']:>9.3f} {run['speedup_vs_sequential']:>8.2f} "
+              f"{'yes' if run['output_identical'] else 'NO'}")
+    if not all(run["output_identical"] for run in record["runs"]):
+        print("error: backends disagree on operator output", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
