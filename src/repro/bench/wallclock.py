@@ -1,17 +1,23 @@
-"""Wall-clock benchmark: backends × worker counts on the real pipeline.
+"""Wall-clock benchmarks: backends × workers, and read-worker sweeps.
 
 Unlike the virtual-time benchmarks under ``benchmarks/`` (which reproduce
 the paper's figures deterministically), this harness measures *actual*
-seconds on the host: it sweeps execution backends and worker counts over
-the synthetic Mix corpus, runs the real fused TF/IDF → K-means pipeline,
-and reports per-phase wall-clock times plus speedups against the
-sequential backend. ``tools/bench_wallclock.py`` wraps it into a CLI that
-writes ``BENCH_wallclock.json`` — the seed of the repo's performance
-trajectory: every future perf PR reruns it and appends a comparable
-record.
+seconds on the host. It has two modes:
+
+* :func:`bench_wallclock` — sweeps execution backends and worker counts
+  over the synthetic Mix corpus held in memory, running the real fused
+  TF/IDF → K-means pipeline (PR 1's compute trajectory).
+* :func:`bench_read_sweep` — writes the corpus to an on-disk directory
+  and sweeps **read-worker counts** through the bounded-prefetch parallel
+  reader (:mod:`repro.io.parallel_read`), measuring how much of the input
+  phase hides behind compute — the paper's optimization #2 (§3.2).
+
+``tools/bench_wallclock.py`` wraps both into a CLI that appends records
+to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
+future perf PR reruns it and appends a comparable record.
 
 Every run also cross-checks that the operator output (TF/IDF matrix and
-K-means assignments) is identical to the sequential backend's, so the
+K-means assignments) is identical to the baseline configuration's, so the
 benchmark doubles as an end-to-end equivalence check on real hardware.
 """
 
@@ -19,22 +25,36 @@ from __future__ import annotations
 
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.pipeline import RealRunResult, run_pipeline
+from repro.errors import BenchmarkError
 from repro.exec.process import make_backend
+from repro.io.corpus_io import store_corpus
+from repro.io.parallel_read import corpus_stream
+from repro.io.storage import FsStorage
 from repro.ops.kmeans import KMeansOperator
 from repro.ops.tfidf import TfIdfOperator
 from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
 
-__all__ = ["bench_wallclock", "DEFAULT_WORKER_SWEEP"]
+__all__ = [
+    "bench_wallclock",
+    "bench_read_sweep",
+    "DEFAULT_WORKER_SWEEP",
+    "DEFAULT_READ_WORKER_SWEEP",
+]
 
 _PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
 
 #: Worker counts swept for the pooled backends.
 DEFAULT_WORKER_SWEEP = (1, 2, 4)
+
+#: Read-worker counts swept over the on-disk corpus (1 = serial input).
+DEFAULT_READ_WORKER_SWEEP = (1, 2, 4, 8)
 
 
 def _matrices_equal(a: RealRunResult, b: RealRunResult) -> bool:
@@ -50,6 +70,41 @@ def _matrices_equal(a: RealRunResult, b: RealRunResult) -> bool:
     )
 
 
+def _best_of(
+    repeats: int, run_once: Callable[[], RealRunResult], label: str
+) -> tuple[float, RealRunResult, dict[str, float]]:
+    """Repeat a configuration; return the best run *with its own* result.
+
+    The minimum total time is the standard noise filter for wall-clock
+    benchmarks — but the recorded phases, output-equivalence result and
+    reference must all come from that same best run, never be mixed
+    across repeats. Pipeline failures surface as
+    :class:`~repro.errors.BenchmarkError` naming the configuration.
+    """
+    best: tuple[float, RealRunResult, dict[str, float]] | None = None
+    for _ in range(max(1, repeats)):
+        try:
+            start = time.perf_counter()
+            result = run_once()
+            elapsed = time.perf_counter() - start
+        except BenchmarkError:
+            raise
+        except Exception as exc:
+            raise BenchmarkError(f"pipeline failed on {label}: {exc}") from exc
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result, dict(result.phase_seconds))
+    assert best is not None  # repeats >= 1
+    return best
+
+
+def _host() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def bench_wallclock(
     profile: str = "mix",
     scale: float = 0.01,
@@ -61,55 +116,46 @@ def bench_wallclock(
 ) -> dict:
     """Sweep backends × workers; return the benchmark record.
 
-    ``repeats`` re-runs each configuration and keeps the *minimum* time
-    per phase (the standard noise filter for wall-clock benchmarks). The
-    sequential backend anchors the sweep: it runs once (worker count is
-    meaningless for it) and every other configuration reports a speedup
-    against it.
+    ``repeats`` re-runs each configuration and keeps the *minimum*-time
+    run (phases, output and all from that one run). The sequential
+    backend anchors the sweep: it runs once (worker count is meaningless
+    for it) and every other configuration reports a speedup against it.
     """
     if profile not in _PROFILES:
         raise ValueError(f"unknown profile {profile!r}")
     corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
 
-    def make_ops():
-        return TfIdfOperator(), KMeansOperator(max_iters=kmeans_iters)
-
     runs: list[dict] = []
     reference: RealRunResult | None = None
-    reference_phases: dict[str, float] = {}
+    reference_total: float | None = None
     for backend_name in backends:
         sweep = (1,) if backend_name == "sequential" else tuple(workers)
         for n_workers in sweep:
-            best: dict[str, float] | None = None
-            total = None
-            result = None
-            for _ in range(max(1, repeats)):
+            label = f"backend {backend_name!r} with {n_workers} worker(s)"
+
+            def run_once() -> RealRunResult:
                 backend = make_backend(backend_name, n_workers)
                 try:
-                    tfidf, kmeans = make_ops()
-                    start = time.perf_counter()
-                    result = run_pipeline(
-                        corpus, backend=backend, tfidf=tfidf, kmeans=kmeans
+                    return run_pipeline(
+                        corpus,
+                        backend=backend,
+                        tfidf=TfIdfOperator(),
+                        kmeans=KMeansOperator(max_iters=kmeans_iters),
                     )
-                    elapsed = time.perf_counter() - start
                 finally:
                     backend.close()
-                if best is None or elapsed < total:
-                    best = dict(result.phase_seconds)
-                    total = elapsed
+
+            total, result, phases = _best_of(repeats, run_once, label)
             if reference is None:
-                reference = result
-                reference_phases = best
+                reference, reference_total = result, total
             runs.append(
                 {
                     "backend": backend_name,
                     "workers": n_workers,
-                    "phases": best,
+                    "phases": phases,
                     "total_s": total,
                     "speedup_vs_sequential": (
-                        sum(reference_phases.values()) / sum(best.values())
-                        if reference_phases
-                        else 1.0
+                        reference_total / total if reference_total else 1.0
                     ),
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
@@ -124,10 +170,101 @@ def bench_wallclock(
         "n_docs": len(corpus),
         "repeats": repeats,
         "kmeans_iters": kmeans_iters,
-        "host": {
-            "platform": platform.platform(),
-            "python": sys.version.split()[0],
-            "cpu_count": os.cpu_count(),
-        },
+        "host": _host(),
+        "runs": runs,
+    }
+
+
+def bench_read_sweep(
+    profile: str = "mix",
+    scale: float = 0.01,
+    read_workers: Sequence[int] = DEFAULT_READ_WORKER_SWEEP,
+    prefetch: int | None = None,
+    backend: str = "processes",
+    workers: int | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+    corpus_dir: str | None = None,
+) -> dict:
+    """Sweep read-worker counts over an on-disk corpus (paper §3.2).
+
+    The synthetic corpus is written to ``corpus_dir`` (a temporary
+    directory when ``None``, removed afterwards); each configuration then
+    runs the fused pipeline with documents streamed through the parallel
+    reader. ``read_workers=1`` is the serial-input baseline the other
+    counts report a speedup against; ``backend``/``workers`` fix the
+    compute side (default: one process per core) so only the input stage
+    varies. Output must stay bit-identical across read-worker counts.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    if workers is None:
+        workers = max(1, os.cpu_count() or 1)
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+
+    n_docs = len(corpus)
+    own_dir = corpus_dir is None
+    root = corpus_dir or tempfile.mkdtemp(prefix="repro-read-bench-")
+    try:
+        storage = FsStorage(root)
+        store_corpus(storage, corpus)
+        del corpus  # the pipeline must read from disk, not memory
+
+        runs: list[dict] = []
+        reference: RealRunResult | None = None
+        reference_total: float | None = None
+        for n_read in read_workers:
+            label = (
+                f"read_workers={n_read} (backend {backend!r}, "
+                f"{workers} worker(s))"
+            )
+
+            def run_once() -> RealRunResult:
+                compute = make_backend(backend, workers)
+                try:
+                    return run_pipeline(
+                        corpus_stream(
+                            storage, workers=n_read, prefetch=prefetch
+                        ),
+                        backend=compute,
+                        tfidf=TfIdfOperator(),
+                        kmeans=KMeansOperator(max_iters=kmeans_iters),
+                    )
+                finally:
+                    compute.close()
+
+            total, result, phases = _best_of(repeats, run_once, label)
+            if reference is None:
+                reference, reference_total = result, total
+            runs.append(
+                {
+                    "read_workers": n_read,
+                    "phases": phases,
+                    "total_s": total,
+                    "read_s": phases.get("read", 0.0),
+                    "speedup_vs_serial_input": (
+                        reference_total / total if reference_total else 1.0
+                    ),
+                    "output_identical": (
+                        result is reference or _matrices_equal(result, reference)
+                    ),
+                }
+            )
+    finally:
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": "wallclock-read",
+        "profile": profile,
+        "scale": scale,
+        "n_docs": n_docs,
+        "backend": backend,
+        "workers": workers,
+        "prefetch": prefetch,
+        "repeats": repeats,
+        "kmeans_iters": kmeans_iters,
+        "host": _host(),
         "runs": runs,
     }

@@ -31,6 +31,7 @@ from repro.exec.process import BACKEND_CHOICES, make_backend
 from repro.exec.scheduler import SimScheduler
 from repro.io.arff import read_sparse_arff, write_sparse_arff
 from repro.io.corpus_io import load_corpus, store_corpus
+from repro.io.parallel_read import corpus_stream
 from repro.io.storage import FsStorage
 from repro.ops.kmeans import KMeansOperator
 from repro.ops.tfidf import TfIdfOperator
@@ -60,6 +61,31 @@ def _make_cli_backend(args):
     return make_backend(args.backend, args.workers)
 
 
+def _add_read_args(parser: argparse.ArgumentParser) -> None:
+    """Parallel-input flags (paper §3.2), shared by tfidf/pipeline."""
+    parser.add_argument(
+        "--read-workers", type=int, default=1,
+        help="concurrent file-read threads (1 = serial input)",
+    )
+    parser.add_argument(
+        "--prefetch", type=int, default=None,
+        help="max documents in flight ahead of compute "
+        "(default: 4x read workers)",
+    )
+
+
+def _make_cli_stream(args):
+    """Bounded-prefetch document stream over the input directory."""
+    storage = FsStorage(args.input)
+    return corpus_stream(
+        storage,
+        "",
+        workers=args.read_workers,
+        prefetch=args.prefetch,
+        name=os.path.basename(args.input),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -76,13 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help="output directory")
 
     tfidf = sub.add_parser("tfidf", help="TF/IDF over a corpus directory")
-    tfidf.add_argument("--input", required=True, help="corpus directory")
+    tfidf.add_argument("--input", "--input-dir", dest="input", required=True,
+                       help="corpus directory")
     tfidf.add_argument("--output", required=True, help="ARFF output file")
     tfidf.add_argument("--dict", dest="dict_kind", default="map",
                        choices=["map", "unordered_map", "dict"])
     tfidf.add_argument("--min-df", type=int, default=1)
     tfidf.add_argument("--stopwords", action="store_true")
     _add_backend_args(tfidf)
+    _add_read_args(tfidf)
 
     kmeans = sub.add_parser("kmeans", help="K-means over an ARFF file")
     kmeans.add_argument("--input", required=True, help="ARFF input file")
@@ -98,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the fused TF/IDF -> K-means workflow for real "
         "(wall clock, multi-core via --backend processes)",
     )
-    pipe.add_argument("--input", required=True, help="corpus directory")
+    pipe.add_argument("--input", "--input-dir", dest="input", required=True,
+                      help="corpus directory")
     pipe.add_argument("--output", default=None,
                       help="assignments file (default: stdout summary only)")
     pipe.add_argument("--arff", default=None,
@@ -112,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--seed", type=int, default=0)
     pipe.add_argument("--init", choices=["spread", "kmeans++"], default="spread")
     _add_backend_args(pipe)
+    _add_read_args(pipe)
 
     wf = sub.add_parser("workflow", help="run the fused/discrete workflow "
                         "with a simulated timing report")
@@ -152,9 +182,8 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_tfidf(args) -> int:
-    storage = FsStorage(args.input)
-    corpus = load_corpus(storage, "", name=os.path.basename(args.input))
-    if not len(corpus):
+    stream = _make_cli_stream(args)
+    if not len(stream):
         print(f"error: no documents found in {args.input}", file=sys.stderr)
         return 1
     operator = TfIdfOperator(
@@ -163,7 +192,7 @@ def _cmd_tfidf(args) -> int:
         min_df=args.min_df,
     )
     with _make_cli_backend(args) as backend:
-        result = operator.fit_transform(corpus, backend=backend)
+        result = operator.fit_transform(stream, backend=backend)
     document = write_sparse_arff("tfidf", result.vocabulary,
                                  result.matrix.iter_rows())
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -221,9 +250,8 @@ def _cmd_workflow(args) -> int:
 
 
 def _cmd_pipeline(args) -> int:
-    storage = FsStorage(args.input)
-    corpus = load_corpus(storage, "", name=os.path.basename(args.input))
-    if not len(corpus):
+    stream = _make_cli_stream(args)
+    if not len(stream):
         print(f"error: no documents found in {args.input}", file=sys.stderr)
         return 1
     tfidf = TfIdfOperator(
@@ -238,7 +266,7 @@ def _cmd_pipeline(args) -> int:
         init=args.init,
     )
     with _make_cli_backend(args) as backend:
-        result = run_pipeline(corpus, backend=backend, tfidf=tfidf, kmeans=kmeans)
+        result = run_pipeline(stream, backend=backend, tfidf=tfidf, kmeans=kmeans)
 
     if args.arff is not None:
         document = write_sparse_arff(
@@ -252,8 +280,8 @@ def _cmd_pipeline(args) -> int:
                 handle.write(f"{doc_id}\t{cluster}\n")
 
     print(f"fused pipeline on backend {result.backend_name} "
-          f"({len(corpus)} documents, "
-          f"{len(result.tfidf.vocabulary)} terms):")
+          f"({stream.n_read} documents via {args.read_workers} read "
+          f"worker(s), {len(result.tfidf.vocabulary)} terms):")
     for phase, seconds in result.phase_seconds.items():
         print(f"  {phase:>14}: {seconds:9.3f}s")
     print(f"  {'total':>14}: {result.total_s:9.3f}s")

@@ -16,6 +16,7 @@ __all__ = [
     "WorkflowError",
     "PlannerError",
     "OperatorError",
+    "BenchmarkError",
 ]
 
 
@@ -49,3 +50,7 @@ class PlannerError(ReproError):
 
 class OperatorError(ReproError):
     """An analytics operator was misused or received invalid input."""
+
+
+class BenchmarkError(ReproError):
+    """A wall-clock benchmark run failed; carries the failing configuration."""

@@ -32,6 +32,8 @@ __all__ = [
     "SequentialBackend",
     "ThreadBackend",
     "apply_chunk",
+    "gather_ordered",
+    "submit_stream",
 ]
 
 ItemT = TypeVar("ItemT")
@@ -49,6 +51,44 @@ def apply_chunk(fn: Callable, chunk: Sequence) -> list:
 
 def _as_list(items: Iterable) -> list:
     return items if isinstance(items, list) else list(items)
+
+
+def gather_ordered(futures: Sequence) -> list:
+    """Collect chunk futures in submission order, extending into one list.
+
+    If any chunk raises, every future that has not started yet is
+    cancelled before the exception propagates — a poisoned chunk must not
+    leave the chunks submitted after it running (or keeping a wedged pool
+    busy) once the caller has already seen the failure.
+    """
+    results: list = []
+    try:
+        for future in futures:
+            results.extend(future.result())
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+    return results
+
+
+def submit_stream(pool, fn: Callable, items: Iterable) -> list:
+    """Submit one task per item as a (possibly lazy) producer yields it.
+
+    The streaming twin of chunked ``map``: tasks start executing while the
+    producer — typically a prefetching corpus reader — is still yielding,
+    so compute overlaps input. Results are returned in submission order.
+    If the producer *or* any task raises, all queued tasks are cancelled.
+    """
+    futures = []
+    try:
+        for item in items:
+            futures.append(pool.submit(fn, item))
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
 
 
 class ExecutionBackend:
@@ -79,6 +119,18 @@ class ExecutionBackend:
         grain: int | None = None,
     ) -> list[ResultT]:
         raise NotImplementedError
+
+    def map_stream(
+        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+    ) -> list[ResultT]:
+        """Apply ``fn`` to items as a lazy producer yields them, in order.
+
+        One task per item — callers pass pre-chunked work. Pooled backends
+        start executing early tasks while the producer (e.g. a prefetching
+        corpus reader) is still yielding later ones, overlapping input
+        with compute; in-process backends drain the producer inline.
+        """
+        return [fn(item) for item in items]
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
@@ -133,10 +185,12 @@ class ThreadBackend(ExecutionBackend):
             pool.submit(apply_chunk, fn, items[start : start + grain])
             for start in range(0, len(items), grain)
         ]
-        results: list = []
-        for future in futures:
-            results.extend(future.result())
-        return results
+        return gather_ordered(futures)
+
+    def map_stream(self, fn, items):
+        if self.workers == 1:
+            return [fn(item) for item in items]
+        return submit_stream(self._ensure_pool(), fn, items)
 
     def close(self) -> None:
         pool, self._pool = self._pool, None

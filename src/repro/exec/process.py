@@ -21,9 +21,11 @@ Design points (see ``docs/backends.md`` for the cost model):
   ``map`` output is aligned with its input no matter which worker
   finished first.
 * **Exception transparency.** An exception raised by the mapped function
-  propagates to the caller (pickled across the process boundary); the
-  pool stays usable for subsequent ``map`` calls. A crashed worker
-  (``BrokenProcessPool``) resets the pool so the next call starts fresh.
+  propagates to the caller (pickled across the process boundary) and all
+  not-yet-started chunks are cancelled — a poisoned chunk does not leave
+  its successors running behind the caller's back. The pool stays usable
+  for subsequent ``map`` calls. A crashed worker (``BrokenProcessPool``)
+  resets the pool so the next call starts fresh.
 """
 
 from __future__ import annotations
@@ -40,6 +42,8 @@ from repro.exec.inline import (
     ThreadBackend,
     _as_list,
     apply_chunk,
+    gather_ordered,
+    submit_stream,
 )
 from repro.exec.parallel import auto_grain
 
@@ -128,16 +132,22 @@ class ProcessBackend(ExecutionBackend):
             pool.submit(apply_chunk, fn, items[start : start + grain])
             for start in range(0, len(items), grain)
         ]
-        results: list = []
         try:
-            for future in futures:
-                results.extend(future.result())
+            # gather_ordered cancels not-yet-started chunks on any failure,
+            # so a poisoned chunk does not leave its successors running.
+            return gather_ordered(futures)
         except BrokenProcessPool:
             # A worker died (segfault, OOM kill): the pool is unusable.
             # Reset so the next map starts a fresh generation.
             self.close()
             raise
-        return results
+
+    def map_stream(self, fn, items):
+        try:
+            return submit_stream(self._ensure_pool(), fn, items)
+        except BrokenProcessPool:
+            self.close()
+            raise
 
 
 def make_backend(name: str, workers: int = 1) -> ExecutionBackend:

@@ -1,4 +1,4 @@
-"""I/O substrate: ARFF codec, metered storage backends, corpus persistence."""
+"""I/O substrate: ARFF codec, metered storage, corpus persistence, parallel input."""
 
 from repro.io.arff import (
     ArffRelation,
@@ -12,6 +12,12 @@ from repro.io.corpus_io import (
     load_corpus,
     read_document,
     store_corpus,
+)
+from repro.io.parallel_read import (
+    DocumentStream,
+    corpus_stream,
+    default_prefetch,
+    read_paths,
 )
 from repro.io.storage import FsStorage, MemStorage, Storage
 
@@ -28,4 +34,8 @@ __all__ = [
     "load_corpus",
     "corpus_paths",
     "read_document",
+    "DocumentStream",
+    "corpus_stream",
+    "default_prefetch",
+    "read_paths",
 ]

@@ -14,6 +14,7 @@ attribute names — everything the TF/IDF–K-means pipeline needs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -40,16 +41,34 @@ class ArffRelation:
 
 
 def _quote(name: str) -> str:
-    """Quote an attribute name when ARFF requires it."""
-    if any(ch in name for ch in " \t,%{}'\""):
+    """Quote an attribute name when ARFF requires it (or it is empty)."""
+    if not name or any(ch in name for ch in " \t,%{}'\""):
         escaped = name.replace("\\", "\\\\").replace("'", "\\'")
         return f"'{escaped}'"
     return name
 
 
 def _unquote(name: str) -> str:
+    """Strip surrounding quotes and undo escaping in one left-to-right pass.
+
+    A scanner, not sequential ``str.replace`` calls: chained replacements
+    process the text multiple times, so a replacement's output can be
+    re-interpreted as an escape by a later pass — backslash-quote
+    sequences in attribute names would not survive a write→read round
+    trip. One pass consumes each ``\\x`` pair exactly once.
+    """
     if len(name) >= 2 and name[0] == name[-1] and name[0] in "'\"":
-        return name[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+        body = name[1:-1]
+        out: list[str] = []
+        index = 0
+        while index < len(body):
+            if body[index] == "\\" and index + 1 < len(body):
+                out.append(body[index + 1])
+                index += 2
+            else:
+                out.append(body[index])
+                index += 1
+        return "".join(out)
     return name
 
 
@@ -59,11 +78,30 @@ def _format_value(value: float) -> str:
     ``repr`` emits the shortest string that round-trips the double, so a
     discrete workflow (which passes scores through ARFF) computes
     *bit-identical* results to a fused one — materialization must never
-    change answers.
+    change answers. NaN and ±inf have no ARFF representation and are
+    rejected (callers add row/attribute context).
     """
+    if not math.isfinite(value):
+        raise ArffFormatError(f"non-finite value {value!r}")
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _format_cell(
+    value: float, row_index: int, attr_index: int, attributes: list[str]
+) -> str:
+    """Render one matrix cell, naming the row/attribute on bad values."""
+    if not math.isfinite(value):
+        if 0 <= attr_index < len(attributes):
+            attribute = repr(attributes[attr_index])
+        else:
+            attribute = f"#{attr_index}"
+        raise ArffFormatError(
+            f"non-finite value {value!r} at row {row_index}, "
+            f"attribute {attribute}"
+        )
+    return _format_value(value)
 
 
 def arff_lines(
@@ -86,15 +124,19 @@ def arff_lines(
     yield ""
     yield "@data"
     if sparse:
-        for row in rows:
+        for row_index, row in enumerate(rows):
             entries = ",".join(
-                f"{index} {_format_value(value)}" for index, value in row.items()
+                f"{index} {_format_cell(value, row_index, index, attributes)}"
+                for index, value in row.items()
             )
             yield "{" + entries + "}"
     else:
-        for row in rows:
+        for row_index, row in enumerate(rows):
             dense = row.to_dense(len(attributes))
-            yield ",".join(_format_value(v) for v in dense)
+            yield ",".join(
+                _format_cell(value, row_index, attr_index, attributes)
+                for attr_index, value in enumerate(dense)
+            )
 
 
 def write_sparse_arff(
@@ -104,6 +146,22 @@ def write_sparse_arff(
 ) -> str:
     """Serialise to a single ARFF document string (sparse rows)."""
     return "\n".join(arff_lines(relation, attributes, rows, sparse=True)) + "\n"
+
+
+def _header_body(line: str, keyword: str) -> str | None:
+    """Body of a header line, or ``None`` if it does not start with
+    ``keyword`` as a whole word.
+
+    Matching must stop at a word boundary: a bare ``startswith`` would
+    accept ``@relationfoo`` as a relation named ``foo`` (and, worse,
+    ``@datafoo`` as the start of the data section).
+    """
+    if line[: len(keyword)].lower() != keyword:
+        return None
+    rest = line[len(keyword) :]
+    if rest and not rest[0].isspace():
+        return None
+    return rest.strip()
 
 
 def parse_arff_lines(lines: Iterable[str]) -> ArffRelation:
@@ -117,19 +175,19 @@ def parse_arff_lines(lines: Iterable[str]) -> ArffRelation:
         line = raw_line.strip()
         if not line or line.startswith("%"):
             continue
-        lowered = line.lower()
         if not in_data:
-            if lowered.startswith("@relation"):
-                relation_name = _unquote(line[len("@relation") :].strip())
-            elif lowered.startswith("@attribute"):
-                rest = line[len("@attribute") :].strip()
-                name, attr_type = _split_attribute(rest)
+            relation_body = _header_body(line, "@relation")
+            attribute_body = _header_body(line, "@attribute")
+            if relation_body is not None:
+                relation_name = _unquote(relation_body)
+            elif attribute_body is not None:
+                name, attr_type = _split_attribute(attribute_body)
                 if attr_type.lower() not in ("numeric", "real", "integer"):
                     raise ArffFormatError(
                         f"unsupported attribute type {attr_type!r} for {name!r}"
                     )
                 attributes.append(name)
-            elif lowered.startswith("@data"):
+            elif _header_body(line, "@data") is not None:
                 if relation_name is None:
                     raise ArffFormatError("@data before @relation")
                 if not attributes:
@@ -199,6 +257,10 @@ def _parse_row(line: str, n_attributes: int) -> SparseVector:
                 index, value = int(parts[0]), float(parts[1])
             except ValueError as exc:
                 raise ArffFormatError(f"bad sparse entry {entry!r}: {exc}") from None
+            if not math.isfinite(value):
+                raise ArffFormatError(
+                    f"non-finite value {parts[1]!r} in sparse entry {entry!r}"
+                )
             if not 0 <= index < n_attributes:
                 raise ArffFormatError(
                     f"sparse index {index} out of range [0, {n_attributes})"
@@ -218,4 +280,10 @@ def _parse_row(line: str, n_attributes: int) -> SparseVector:
         dense = [float(v) for v in values]
     except ValueError as exc:
         raise ArffFormatError(f"bad dense row {line!r}: {exc}") from None
+    for attr_index, value in enumerate(dense):
+        if not math.isfinite(value):
+            raise ArffFormatError(
+                f"non-finite value {values[attr_index].strip()!r} "
+                f"at attribute #{attr_index} in dense row {line!r}"
+            )
     return SparseVector.from_dense(dense)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.exec.task import TaskCost
@@ -55,6 +55,24 @@ class Storage(ABC):
         """Yield stored paths starting with ``prefix``, sorted."""
 
     # -- shared helpers -----------------------------------------------------------
+
+    def read_many(
+        self,
+        paths: "Iterable[str]",
+        *,
+        workers: int = 1,
+        prefetch: int | None = None,
+    ) -> Iterator[tuple[str, str, "TaskCost"]]:
+        """Read many files concurrently; yield ``(path, contents, cost)``.
+
+        Results arrive strictly in input order with per-file costs still
+        metered for the simulator; ``workers`` reader threads keep at most
+        ``prefetch`` files in flight (paper §3.2's parallel input). See
+        :func:`repro.io.parallel_read.read_paths`.
+        """
+        from repro.io.parallel_read import read_paths
+
+        return read_paths(self, paths, workers=workers, prefetch=prefetch)
 
     def read_data(self, path: str) -> str:
         """Contents only, discarding the cost (functional use)."""

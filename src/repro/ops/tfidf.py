@@ -317,15 +317,18 @@ class TfIdfOperator:
     def fit_transform(
         self, corpus: Corpus, backend: ExecutionBackend | None = None
     ) -> TfIdfResult:
-        """Compute TF/IDF for an in-memory corpus (no simulation).
+        """Compute TF/IDF for an in-memory or streamed corpus (no simulation).
 
-        The returned result has an empty timeline; use
-        :meth:`run_simulated` for performance studies. With a ``backend``
-        both parallel phases (word count and transform) run on it; the
-        output matrix is bit-identical to the inline path regardless of
-        backend or worker count.
+        ``corpus`` may be a materialized :class:`~repro.text.corpus.Corpus`
+        or a lazy :class:`~repro.io.parallel_read.DocumentStream`; with a
+        stream, phase 1 consumes documents as reads complete, overlapping
+        input with tokenization (paper §3.2). The returned result has an
+        empty timeline; use :meth:`run_simulated` for performance studies.
+        With a ``backend`` both parallel phases (word count and transform)
+        run on it; the output matrix is bit-identical to the inline path
+        regardless of backend, worker count, or read-worker count.
         """
-        wc = self.wordcount.run([doc.text for doc in corpus], backend=backend)
+        wc = self.wordcount.run(corpus, backend=backend)
         return self.transform_wordcount(wc, backend=backend)
 
     def transform_wordcount(

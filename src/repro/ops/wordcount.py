@@ -15,6 +15,7 @@ simulated time through the dictionary cost profiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.cost_model import DEFAULT_COSTS, UNIT_SCALE, CostConstants, WorkloadScale
 from repro.dicts.api import Dictionary
@@ -33,6 +34,24 @@ __all__ = ["WordCountResult", "WordCountStep", "PHASE_INPUT_WC"]
 
 #: Phase label used in Figure 3/4 breakdowns.
 PHASE_INPUT_WC = "input+wc"
+
+#: Chunk size for backend runs over a stream whose length is unknown.
+_STREAM_GRAIN = 32
+
+
+def _iter_named(source) -> Iterator[tuple[str | None, str]]:
+    """Yield ``(name, text)`` for each item of a heterogeneous source.
+
+    Accepts plain strings (name ``None``), :class:`~repro.text.corpus.Document`
+    objects, and anything iterable over either — a materialized
+    :class:`~repro.text.corpus.Corpus` or a lazy
+    :class:`~repro.io.parallel_read.DocumentStream`.
+    """
+    for item in source:
+        if isinstance(item, str):
+            yield None, item
+        else:
+            yield item.name, item.text
 
 
 @dataclass
@@ -229,15 +248,19 @@ class WordCountStep:
     # -- functional execution ---------------------------------------------------------------
 
     def run(
-        self, texts: list[str], backend: ExecutionBackend | None = None
+        self, texts, backend: ExecutionBackend | None = None
     ) -> WordCountResult:
-        """Count a list of in-memory texts (no storage, no simulation).
+        """Count an in-memory or streamed document source (no simulation).
 
-        With a ``backend``, the per-document counting runs on it in
-        Cilk-grain chunks (real parallelism on
-        :class:`~repro.exec.process.ProcessBackend`); term and document
-        frequencies are identical to the inline path, but the returned
-        dictionaries are uninstrumented
+        ``texts`` may be a list of strings, a
+        :class:`~repro.text.corpus.Corpus`, or a lazy
+        :class:`~repro.io.parallel_read.DocumentStream` — with a stream,
+        counting document *i* overlaps the read of document *i+k* (the
+        paper's parallel input, §3.2). With a ``backend``, the
+        per-document counting runs on it in Cilk-grain chunks (real
+        parallelism on :class:`~repro.exec.process.ProcessBackend`); term
+        and document frequencies are identical to the inline path, but the
+        returned dictionaries are uninstrumented
         :class:`~repro.dicts.snapshot.SnapshotDict` views — use the
         simulated path when op stats matter.
         """
@@ -246,36 +269,62 @@ class WordCountStep:
         df = make_dict(self.dict_kind, self.reserve)
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []
+        paths: list[str] = []
+        input_bytes = 0
         scratch = TaskCost()
-        for text in texts:
+        for name, text in _iter_named(texts):
             tf, n_tokens = self.count_document(text, df, scratch)
             doc_tfs.append(tf)
             doc_tokens.append(n_tokens)
+            paths.append(name if name is not None else f"mem-{len(paths)}")
+            input_bytes += len(text)
         return WordCountResult(
-            paths=[f"mem-{i}" for i in range(len(texts))],
+            paths=paths,
             doc_tfs=doc_tfs,
             doc_token_counts=doc_tokens,
             df=df,
             dict_kind=self.dict_kind,
-            input_bytes=sum(len(t) for t in texts),
+            input_bytes=input_bytes,
             total_tokens=sum(doc_tokens),
             scale=self.scale,
         )
 
-    def _run_backend(
-        self, texts: list[str], backend: ExecutionBackend
-    ) -> WordCountResult:
+    def _run_backend(self, texts, backend: ExecutionBackend) -> WordCountResult:
         """Chunked word count on a real backend (phase-1 parallel loop).
 
         Each chunk is one task: the worker tokenizes and counts its
         documents and pre-aggregates a partial document-frequency table,
         so the parent only merges one small table per chunk (plain integer
         adds — order-independent) instead of re-counting per document.
+        Chunks are submitted as the source yields (``map_stream``), so a
+        prefetching reader keeps the pool busy while later files are
+        still in flight.
         """
         backend.configure(kernels.init_wordcount_worker, (self.tokenizer,))
-        grain = auto_grain(len(texts), backend.workers)
-        chunks = [texts[at : at + grain] for at in range(0, len(texts), grain)]
-        parts = backend.map(kernels.count_chunk, chunks, grain=1)
+        try:
+            n_hint = len(texts)
+        except TypeError:
+            n_hint = None
+        grain = (
+            auto_grain(n_hint, backend.workers) if n_hint else _STREAM_GRAIN
+        )
+        paths: list[str] = []
+        input_bytes = 0
+
+        def chunked():
+            nonlocal input_bytes
+            chunk: list[str] = []
+            for name, text in _iter_named(texts):
+                paths.append(name if name is not None else f"mem-{len(paths)}")
+                input_bytes += len(text)
+                chunk.append(text)
+                if len(chunk) >= grain:
+                    yield chunk
+                    chunk = []
+            if chunk:
+                yield chunk
+
+        parts = backend.map_stream(kernels.count_chunk, chunked())
 
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []
@@ -288,12 +337,12 @@ class WordCountStep:
                 df_total[term] = df_total.get(term, 0) + count
         df = SnapshotDict(sorted(df_total.items()), kind=self.dict_kind)
         return WordCountResult(
-            paths=[f"mem-{i}" for i in range(len(texts))],
+            paths=paths,
             doc_tfs=doc_tfs,
             doc_token_counts=doc_tokens,
             df=df,
             dict_kind=self.dict_kind,
-            input_bytes=sum(len(t) for t in texts),
+            input_bytes=input_bytes,
             total_tokens=sum(doc_tokens),
             scale=self.scale,
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -28,6 +30,24 @@ def _fail_on_three(x):
 
 def _install_offset(offset):
     _WORKER_STATE["offset"] = offset
+
+
+def _poison_or_touch(item):
+    """Raise on the poison item; otherwise slowly touch a marker file."""
+    kind, path = item
+    if kind == "poison":
+        raise ValueError("poisoned chunk")
+    time.sleep(0.1)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("ran")
+    return path
+
+
+def _poison_items(tmp_path, n_markers):
+    """A poison chunk followed by marker chunks that record having run."""
+    return [("poison", "")] + [
+        ("marker", str(tmp_path / f"marker-{i:02d}")) for i in range(n_markers)
+    ]
 
 
 def _add_offset(x):
@@ -97,6 +117,51 @@ class TestThreadBackend:
                 x + 5 for x in range(10)
             ]
 
+    def test_failure_cancels_chunks_submitted_after_it(self, tmp_path):
+        items = _poison_items(tmp_path, n_markers=24)
+        backend = ThreadBackend(2)
+        try:
+            with pytest.raises(ValueError, match="poisoned chunk"):
+                backend.map(_poison_or_touch, items, grain=1)
+        finally:
+            backend.close()  # waits out chunks that had already started
+        # Only chunks a worker had picked up before the poison surfaced may
+        # finish; everything still queued behind them must be cancelled.
+        touched = len(list(tmp_path.iterdir()))
+        assert touched <= 4, f"{touched} marker chunks ran after the failure"
+
+    def test_map_stream_matches_map(self):
+        with ThreadBackend(3) as backend:
+            assert backend.map_stream(_square, iter(range(20))) == [
+                x * x for x in range(20)
+            ]
+
+    def test_map_stream_failure_cancels_queued_tasks(self, tmp_path):
+        items = _poison_items(tmp_path, n_markers=24)
+        backend = ThreadBackend(2)
+        try:
+            with pytest.raises(ValueError, match="poisoned chunk"):
+                backend.map_stream(_poison_or_touch, iter(items))
+        finally:
+            backend.close()
+        touched = len(list(tmp_path.iterdir()))
+        assert touched <= 4, f"{touched} queued tasks ran after the failure"
+
+    def test_map_stream_producer_error_cancels_queued_tasks(self, tmp_path):
+        def producer():
+            for item in _poison_items(tmp_path, n_markers=24)[1:]:
+                yield item
+            raise RuntimeError("producer died")
+
+        backend = ThreadBackend(2)
+        try:
+            with pytest.raises(RuntimeError, match="producer died"):
+                backend.map_stream(_poison_or_touch, producer())
+        finally:
+            backend.close()
+        touched = len(list(tmp_path.iterdir()))
+        assert touched <= 4, f"{touched} tasks ran after the producer failed"
+
 
 class TestProcessBackend:
     def test_rejects_zero_workers(self):
@@ -148,6 +213,28 @@ class TestProcessBackend:
         finally:
             backend.close()
         backend.close()  # idempotent
+
+    def test_failure_cancels_chunks_submitted_after_it(self, tmp_path):
+        n_markers = 24
+        items = _poison_items(tmp_path, n_markers)
+        backend = ProcessBackend(2)
+        try:
+            with pytest.raises(ValueError, match="poisoned chunk"):
+                backend.map(_poison_or_touch, items, grain=1)
+        finally:
+            backend.close()  # waits out chunks that had already started
+        # ProcessPoolExecutor pre-feeds ~workers+1 chunks into its call
+        # queue, and those can no longer be cancelled — but the long tail
+        # behind them must never run once the poison has surfaced.
+        touched = len(list(tmp_path.iterdir()))
+        assert touched < n_markers, "every chunk ran despite the failure"
+        assert touched <= 8, f"{touched} marker chunks ran after the failure"
+
+    def test_map_stream_matches_map(self):
+        with ProcessBackend(2) as backend:
+            assert backend.map_stream(_square, iter(range(20))) == [
+                x * x for x in range(20)
+            ]
 
 
 class TestMakeBackend:

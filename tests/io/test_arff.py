@@ -82,6 +82,79 @@ class TestRoundTrip:
                 assert a == pytest.approx(b, rel=1e-5)
 
 
+class TestNonFiniteValues:
+    """NaN/inf have no ARFF representation: rejected on both sides."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_writer_rejects_sparse_rows(self, bad):
+        rows = [SparseVector([0], [1.0]), SparseVector([1], [bad])]
+        with pytest.raises(ArffFormatError, match=r"row 1, attribute 'beta'"):
+            write_sparse_arff("r", ["alpha", "beta"], rows)
+
+    def test_writer_rejects_dense_rows(self):
+        lines = arff_lines(
+            "r", ["alpha", "beta"], [SparseVector([0], [float("nan")])], sparse=False
+        )
+        with pytest.raises(ArffFormatError, match=r"row 0, attribute 'alpha'"):
+            list(lines)
+
+    @pytest.mark.parametrize("token", ["nan", "inf", "-inf", "Infinity"])
+    def test_reader_rejects_sparse_tokens(self, token):
+        doc = f"@relation r\n@attribute a numeric\n@data\n{{0 {token}}}\n"
+        with pytest.raises(ArffFormatError, match="non-finite"):
+            read_sparse_arff(doc)
+
+    @pytest.mark.parametrize("token", ["nan", "inf", "-inf"])
+    def test_reader_rejects_dense_tokens(self, token):
+        doc = (
+            "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+            f"@data\n1,{token}\n"
+        )
+        with pytest.raises(ArffFormatError, match="non-finite"):
+            read_sparse_arff(doc)
+
+
+class TestQuotingRoundTrip:
+    """Names full of quotes/escapes must survive a write→read round trip."""
+
+    _NASTY = st.text(alphabet="ab \\'\"%,{}\t", max_size=8)
+
+    def test_backslash_quote_sequence_roundtrips(self):
+        # A backslash immediately before a quote is the case a chained
+        # str.replace unquoter can corrupt; the scanner must not.
+        for name in ("a\\'b", "\\\\", "it's", 'say "hi"', "tab\there"):
+            doc = write_sparse_arff(name, [name], [SparseVector([0], [1.5])])
+            relation = read_sparse_arff(doc)
+            assert relation.name == name
+            assert relation.attributes == [name]
+
+    @given(name=_NASTY, attrs=st.lists(_NASTY, min_size=1, max_size=4))
+    def test_arbitrary_names_roundtrip(self, name, attrs):
+        doc = write_sparse_arff(name, attrs, [SparseVector([0], [1.5])])
+        relation = read_sparse_arff(doc)
+        assert relation.name == name
+        assert relation.attributes == attrs
+
+
+class TestHeaderKeywordBoundaries:
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            # Pre-fix, bare startswith parsed "@relationfoo" as relation "foo".
+            "@relationfoo\n@attribute a numeric\n@data\n{0 1}\n",
+            "@relation r\n@attributefoo a numeric\n@data\n{0 1}\n",
+            "@relation r\n@attribute a numeric\n@datafoo\n@data\n{0 1}\n",
+        ],
+    )
+    def test_glued_keywords_rejected(self, doc):
+        with pytest.raises(ArffFormatError, match="unrecognised header"):
+            read_sparse_arff(doc)
+
+    def test_keywords_still_match_with_extra_whitespace(self):
+        doc = "@relation\tr\n@attribute\ta numeric\n@data\n{0 1}\n"
+        assert read_sparse_arff(doc).name == "r"
+
+
 class TestParser:
     def test_comments_and_blank_lines_ignored(self):
         doc = "\n".join(

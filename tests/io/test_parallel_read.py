@@ -1,0 +1,192 @@
+"""Tests for the bounded-prefetch parallel corpus reader (paper §3.2)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import PHASE_READ, run_pipeline
+from repro.errors import ConfigurationError, StorageError
+from repro.io.corpus_io import store_corpus
+from repro.io.parallel_read import (
+    DocumentStream,
+    corpus_stream,
+    default_prefetch,
+    read_paths,
+)
+from repro.io.storage import FsStorage, MemStorage
+from repro.text.synth import MIX_PROFILE, generate_corpus
+
+
+def _populate(storage, n=12):
+    paths = [f"doc-{i:03d}.txt" for i in range(n)]
+    for i, path in enumerate(paths):
+        storage.write(path, f"contents of document {i} " * (i + 1))
+    return paths
+
+
+class SlowFirstStorage(MemStorage):
+    """Earlier paths sleep longer, so later reads complete first."""
+
+    def read(self, path):
+        index = int(path.split("-")[1].split(".")[0])
+        if index < 4:
+            time.sleep(0.05 * (4 - index))
+        return super().read(path)
+
+
+class CountingStorage(MemStorage):
+    """Counts reads started, so tests can bound the in-flight window."""
+
+    def __init__(self):
+        super().__init__()
+        self.started = 0
+        self._lock = threading.Lock()
+
+    def read(self, path):
+        with self._lock:
+            self.started += 1
+        return super().read(path)
+
+
+class TestReadPaths:
+    def test_serial_matches_storage(self):
+        storage = MemStorage()
+        paths = _populate(storage)
+        triples = list(read_paths(storage, paths, workers=1))
+        assert [p for p, _, _ in triples] == paths
+        assert [t for _, t, _ in triples] == [storage.read_data(p) for p in paths]
+
+    def test_ordered_despite_out_of_order_completion(self):
+        storage = SlowFirstStorage()
+        paths = _populate(storage, n=10)
+        triples = list(read_paths(storage, paths, workers=4, prefetch=8))
+        # Reads for later paths finished first, delivery order must not.
+        assert [p for p, _, _ in triples] == paths
+        assert [t for _, t, _ in triples] == [storage.read_data(p) for p in paths]
+
+    def test_per_file_costs_preserved(self):
+        storage = MemStorage()
+        paths = _populate(storage)
+        for _, text, cost in read_paths(storage, paths, workers=3):
+            assert cost.disk_read_bytes == len(text)
+            assert cost.disk_opens == 1
+
+    def test_bounded_prefetch_backpressure(self):
+        storage = CountingStorage()
+        paths = _populate(storage, n=24)
+        prefetch = 5
+        delivered = 0
+        peak = 0
+        for _ in read_paths(storage, paths, workers=4, prefetch=prefetch):
+            delivered += 1
+            # Stall the consumer so the pool would run ahead if it could.
+            time.sleep(0.002)
+            peak = max(peak, storage.started - delivered)
+        assert delivered == len(paths)
+        # In-flight files (submitted, not yet delivered) never exceed the
+        # window, even while the consumer sits on a document.
+        assert peak <= prefetch
+
+    def test_missing_file_raises_naming_path(self):
+        storage = MemStorage()
+        paths = _populate(storage, n=6)
+        paths.insert(3, "ghost.txt")
+        with pytest.raises(StorageError, match="ghost.txt"):
+            list(read_paths(storage, paths, workers=2))
+
+    def test_rejects_bad_worker_and_prefetch_counts(self):
+        storage = MemStorage()
+        with pytest.raises(ConfigurationError):
+            list(read_paths(storage, [], workers=0))
+        with pytest.raises(ConfigurationError):
+            list(read_paths(storage, ["a"], workers=2, prefetch=0))
+
+    def test_early_exit_does_not_hang(self):
+        storage = MemStorage()
+        paths = _populate(storage, n=20)
+        reads = read_paths(storage, paths, workers=4, prefetch=4)
+        assert next(reads)[0] == paths[0]
+        reads.close()  # abandoning mid-stream must release the pool
+
+
+class TestDefaultPrefetch:
+    def test_scales_with_workers(self):
+        assert default_prefetch(1) >= 2
+        assert default_prefetch(4) == 16
+
+
+class TestDocumentStream:
+    def test_yields_documents_in_order_with_metering(self):
+        storage = MemStorage()
+        paths = _populate(storage, n=8)
+        stream = DocumentStream(storage, paths, workers=3)
+        assert len(stream) == 8
+        docs = list(stream)
+        assert [d.doc_id for d in docs] == list(range(8))
+        assert [d.name for d in docs] == paths
+        assert stream.n_read == 8
+        assert stream.bytes_read == sum(len(d.text) for d in docs)
+        assert stream.total_cost.disk_read_bytes == stream.bytes_read
+        assert stream.total_cost.disk_opens == 8
+
+    def test_single_use(self):
+        storage = MemStorage()
+        stream = DocumentStream(storage, _populate(storage, n=3))
+        list(stream)
+        with pytest.raises(StorageError, match="single-use"):
+            list(stream)
+
+    def test_corpus_stream_lists_by_prefix(self):
+        storage = MemStorage()
+        _populate(storage, n=5)
+        storage.write("other/unrelated.txt", "not a document")
+        stream = corpus_stream(storage, prefix="doc-", workers=2)
+        assert len(stream) == 5
+        assert [d.name for d in stream] == [f"doc-{i:03d}.txt" for i in range(5)]
+
+
+class TestPipelineEquivalence:
+    """Streamed input must be bit-identical to the materialized baseline."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(MIX_PROFILE, scale=0.002, seed=7)
+
+    def _run_streamed(self, storage, workers, prefetch=None):
+        stream = corpus_stream(storage, workers=workers, prefetch=prefetch)
+        return run_pipeline(stream), stream
+
+    def _assert_identical(self, a, b):
+        ma, mb = a.tfidf.matrix, b.tfidf.matrix
+        assert (ma.n_rows, ma.n_cols) == (mb.n_rows, mb.n_cols)
+        for ra, rb in zip(ma.iter_rows(), mb.iter_rows()):
+            assert ra.indices == rb.indices
+            assert ra.values == rb.values
+        assert a.kmeans.assignments == b.kmeans.assignments
+
+    @pytest.mark.parametrize("make_storage", [MemStorage, "fs"])
+    def test_parallel_read_matches_serial(self, corpus, make_storage, tmp_path):
+        storage = (
+            FsStorage(str(tmp_path / "corpus"))
+            if make_storage == "fs"
+            else make_storage()
+        )
+        store_corpus(storage, corpus)
+        baseline = run_pipeline(corpus)
+        serial, _ = self._run_streamed(storage, workers=1)
+        parallel, stream = self._run_streamed(storage, workers=4, prefetch=6)
+        self._assert_identical(serial, baseline)
+        self._assert_identical(parallel, baseline)
+        assert stream.n_read == len(corpus)
+
+    def test_streamed_run_reports_read_phase(self, corpus, tmp_path):
+        storage = FsStorage(str(tmp_path / "corpus"))
+        store_corpus(storage, corpus)
+        result, _ = self._run_streamed(storage, workers=2)
+        assert PHASE_READ in result.phase_seconds
+        assert result.phase_seconds[PHASE_READ] >= 0.0
+        # A materialized corpus has no read phase (legacy accounting).
+        assert PHASE_READ not in run_pipeline(corpus).phase_seconds

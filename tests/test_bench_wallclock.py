@@ -6,8 +6,14 @@ import json
 import os
 import subprocess
 import sys
+import time
+from types import SimpleNamespace
 
-from repro.bench.wallclock import bench_wallclock
+import pytest
+
+import repro.bench.wallclock as wallclock_module
+from repro.bench.wallclock import _best_of, bench_read_sweep, bench_wallclock
+from repro.errors import BenchmarkError
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -41,6 +47,66 @@ class TestBenchWallclock:
         assert record["runs"][0]["speedup_vs_sequential"] == 1.0
 
 
+class TestBestOf:
+    def test_phases_and_result_come_from_the_same_best_run(self):
+        """The min-time filter must not mix repeats: the recorded phases
+        and output have to belong to the fastest run, not the last one."""
+        fast = SimpleNamespace(phase_seconds={"input+wc": 1.0})
+        slow = SimpleNamespace(phase_seconds={"input+wc": 999.0})
+        results = iter([fast, slow])
+
+        def run_once():
+            result = next(results)
+            if result is slow:
+                time.sleep(0.05)
+            return result
+
+        total, result, phases = _best_of(2, run_once, "cfg")
+        assert result is fast
+        assert phases == {"input+wc": 1.0}
+        assert total < 0.05
+
+    def test_pipeline_failure_wrapped_with_configuration(self):
+        def boom():
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(BenchmarkError, match="cfg-x.*disk on fire"):
+            _best_of(1, boom, "cfg-x")
+
+    def test_benchmark_surfaces_pipeline_error_cleanly(self, monkeypatch):
+        def exploding_pipeline(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(wallclock_module, "run_pipeline", exploding_pipeline)
+        with pytest.raises(BenchmarkError, match="sequential.*kaboom"):
+            bench_wallclock(scale=0.002, backends=("sequential",))
+
+
+class TestBenchReadSweep:
+    def test_record_structure_and_equivalence(self, tmp_path):
+        record = bench_read_sweep(
+            scale=0.002,
+            read_workers=(1, 2),
+            backend="sequential",
+            workers=1,
+            repeats=1,
+            kmeans_iters=2,
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        assert record["benchmark"] == "wallclock-read"
+        assert record["backend"] == "sequential"
+        assert record["n_docs"] > 0
+        assert [run["read_workers"] for run in record["runs"]] == [1, 2]
+        assert record["runs"][0]["speedup_vs_serial_input"] == 1.0
+        for run in record["runs"]:
+            assert run["output_identical"] is True
+            assert "read" in run["phases"]
+            assert run["read_s"] >= 0.0
+            assert run["total_s"] > 0.0
+        # The corpus directory was caller-provided, so it is kept.
+        assert (tmp_path / "corpus").is_dir()
+
+
 class TestBenchWallclockTool:
     def test_tiny_smoke_writes_json(self, tmp_path):
         out = tmp_path / "BENCH_wallclock.json"
@@ -71,3 +137,41 @@ class TestBenchWallclockTool:
         assert backends == {"sequential", "threads", "processes"}
         for run in record["runs"]:
             assert {"backend", "workers", "phases", "total_s"} <= set(run)
+
+    def test_read_mode_appends_to_legacy_record(self, tmp_path):
+        out = tmp_path / "BENCH_wallclock.json"
+        legacy = {"benchmark": "wallclock", "runs": []}
+        out.write_text(json.dumps(legacy) + "\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(REPO, "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(REPO, "tools", "bench_wallclock.py"),
+                "--mode",
+                "read",
+                "--tiny",
+                "--append",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        records = json.loads(out.read_text())
+        # A legacy single-record file is converted into a list in place.
+        assert isinstance(records, list) and len(records) == 2
+        assert records[0] == legacy
+        read_record = records[1]
+        assert read_record["benchmark"] == "wallclock-read"
+        assert [run["read_workers"] for run in read_record["runs"]] == [1, 2]
+        for run in read_record["runs"]:
+            assert run["output_identical"] is True
+            assert "read" in run["phases"]

@@ -47,6 +47,25 @@ class TestParser:
         err = capsys.readouterr().err
         assert "error:" in err and "workers" in err
 
+    def test_read_flags(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--input-dir", "x", "--read-workers", "4",
+             "--prefetch", "16"]
+        )
+        assert args.input == "x"  # --input-dir is an alias for --input
+        assert args.read_workers == 4
+        assert args.prefetch == 16
+        args = build_parser().parse_args(["tfidf", "--input", "x",
+                                          "--output", "y"])
+        assert args.read_workers == 1
+        assert args.prefetch is None
+
+    def test_invalid_read_workers_reports_clean_error(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir,
+                     "--read-workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
 
 class TestGenerate:
     def test_writes_documents(self, corpus_dir):
@@ -104,6 +123,32 @@ class TestRealPipeline:
                          "--max-iters", "3"]) == 0
             outputs[backend] = open(path).read()
         assert outputs["sequential"] == outputs["processes"]
+
+    def test_pipeline_parallel_read_matches_serial(self, corpus_dir, tmp_path):
+        outputs = {}
+        for n_read in ("1", "4"):
+            path = str(tmp_path / f"read-{n_read}.txt")
+            assert main(["pipeline", "--input-dir", corpus_dir,
+                         "--output", path, "--read-workers", n_read,
+                         "--max-iters", "3"]) == 0
+            outputs[n_read] = open(path).read()
+        assert outputs["1"] == outputs["4"]
+
+    def test_pipeline_reports_read_phase(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir, "--read-workers", "2",
+                     "--max-iters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "read:" in out
+        assert "2 read worker(s)" in out
+
+    def test_tfidf_parallel_read_matches_serial(self, corpus_dir, tmp_path):
+        docs = {}
+        for n_read in ("1", "3"):
+            path = str(tmp_path / f"scores-{n_read}.arff")
+            assert main(["tfidf", "--input-dir", corpus_dir, "--output", path,
+                         "--read-workers", n_read]) == 0
+            docs[n_read] = open(path).read()
+        assert docs["1"] == docs["3"]
 
     def test_pipeline_writes_arff(self, corpus_dir, tmp_path):
         arff = str(tmp_path / "scores.arff")

@@ -1,16 +1,29 @@
 """Wall-clock benchmark CLI: backends × workers → BENCH_wallclock.json.
 
-Sweeps the real execution backends (sequential, threads, processes) over
-worker counts on the synthetic Mix corpus and records per-phase wall-clock
-seconds — the repo's hardware-performance trajectory. Usage::
+Two modes, both appending comparable records to the repo's performance
+trajectory:
+
+* ``--mode backends`` (default) sweeps the real execution backends
+  (sequential, threads, processes) over worker counts on the in-memory
+  synthetic Mix corpus.
+* ``--mode read`` writes the corpus to an on-disk directory and sweeps
+  **read-worker counts** through the bounded-prefetch parallel reader —
+  the paper's §3.2 parallel-input optimization, measured end to end.
+
+Usage::
 
     PYTHONPATH=src python tools/bench_wallclock.py                 # full sweep
     PYTHONPATH=src python tools/bench_wallclock.py --tiny          # CI smoke
+    PYTHONPATH=src python tools/bench_wallclock.py --mode read \
+        --read-workers 1 2 4 8 --repeats 3 --append
     PYTHONPATH=src python tools/bench_wallclock.py --scale 0.05 \
         --workers 1 2 4 8 --repeats 3 --out BENCH_wallclock.json
 
-Every run cross-checks that all backends produce identical operator
-output, so a green benchmark is also an equivalence certificate.
+With ``--append``, the output file accumulates a JSON list of records
+(a legacy single-record file is converted in place); without it the file
+is overwritten with one record. Every run cross-checks that all
+configurations produce identical operator output, so a green benchmark is
+also an equivalence certificate.
 """
 
 from __future__ import annotations
@@ -23,11 +36,33 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-from repro.bench.wallclock import DEFAULT_WORKER_SWEEP, bench_wallclock  # noqa: E402
+from repro.bench.wallclock import (  # noqa: E402
+    DEFAULT_READ_WORKER_SWEEP,
+    DEFAULT_WORKER_SWEEP,
+    bench_read_sweep,
+    bench_wallclock,
+)
+
+
+def _write(out: str, record: dict, append: bool) -> None:
+    if append and os.path.exists(out):
+        with open(out, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        records = existing if isinstance(existing, list) else [existing]
+        records.append(record)
+    else:
+        records = record
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2)
+        handle.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=["backends", "read"],
+                        default="backends",
+                        help="sweep compute backends, or read-worker counts "
+                        "over an on-disk corpus (paper §3.2)")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -36,10 +71,27 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["sequential", "threads", "processes"])
     parser.add_argument("--workers", nargs="+", type=int,
                         default=list(DEFAULT_WORKER_SWEEP))
+    parser.add_argument("--read-workers", nargs="+", type=int,
+                        default=list(DEFAULT_READ_WORKER_SWEEP),
+                        help="read-thread counts for --mode read")
+    parser.add_argument("--prefetch", type=int, default=None,
+                        help="in-flight document bound for --mode read")
+    parser.add_argument("--compute-backend", default="processes",
+                        choices=["sequential", "threads", "processes"],
+                        help="fixed compute backend for --mode read")
+    parser.add_argument("--compute-workers", type=int, default=None,
+                        help="fixed compute workers for --mode read "
+                        "(default: cpu count)")
+    parser.add_argument("--corpus-dir", default=None,
+                        help="directory for the on-disk corpus in --mode "
+                        "read (default: a temp dir, removed afterwards)")
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--kmeans-iters", type=int, default=5)
     parser.add_argument("--out", default=os.path.join(REPO, "BENCH_wallclock.json"))
+    parser.add_argument("--append", action="store_true",
+                        help="append the record to --out (JSON list) "
+                        "instead of overwriting")
     parser.add_argument("--tiny", action="store_true",
                         help="smoke-test configuration (seconds, not minutes)")
     args = parser.parse_args(argv)
@@ -47,33 +99,59 @@ def main(argv: list[str] | None = None) -> int:
     if args.tiny:
         args.scale = min(args.scale, 0.002)
         args.workers = [w for w in args.workers if w <= 2] or [1, 2]
+        args.read_workers = [w for w in args.read_workers if w <= 2] or [1, 2]
         args.repeats = 1
         args.kmeans_iters = 2
+        if args.compute_workers is None:
+            args.compute_workers = 2
 
-    record = bench_wallclock(
-        profile=args.profile,
-        scale=args.scale,
-        backends=args.backends,
-        workers=args.workers,
-        repeats=args.repeats,
-        seed=args.seed,
-        kmeans_iters=args.kmeans_iters,
-    )
+    if args.mode == "read":
+        record = bench_read_sweep(
+            profile=args.profile,
+            scale=args.scale,
+            read_workers=args.read_workers,
+            prefetch=args.prefetch,
+            backend=args.compute_backend,
+            workers=args.compute_workers,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+            corpus_dir=args.corpus_dir,
+        )
+    else:
+        record = bench_wallclock(
+            profile=args.profile,
+            scale=args.scale,
+            backends=args.backends,
+            workers=args.workers,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+        )
 
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    _write(args.out, record, args.append)
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    header = f"{'backend':>12} {'workers':>7} {'total_s':>9} {'speedup':>8} identical"
-    print(header)
-    for run in record["runs"]:
-        print(f"{run['backend']:>12} {run['workers']:>7} "
-              f"{run['total_s']:>9.3f} {run['speedup_vs_sequential']:>8.2f} "
-              f"{'yes' if run['output_identical'] else 'NO'}")
+    if args.mode == "read":
+        print(f"compute: {record['backend']} x {record['workers']}")
+        header = (f"{'read_workers':>12} {'total_s':>9} {'read_s':>8} "
+                  f"{'speedup':>8} identical")
+        print(header)
+        for run in record["runs"]:
+            print(f"{run['read_workers']:>12} {run['total_s']:>9.3f} "
+                  f"{run['read_s']:>8.3f} "
+                  f"{run['speedup_vs_serial_input']:>8.2f} "
+                  f"{'yes' if run['output_identical'] else 'NO'}")
+    else:
+        header = f"{'backend':>12} {'workers':>7} {'total_s':>9} {'speedup':>8} identical"
+        print(header)
+        for run in record["runs"]:
+            print(f"{run['backend']:>12} {run['workers']:>7} "
+                  f"{run['total_s']:>9.3f} {run['speedup_vs_sequential']:>8.2f} "
+                  f"{'yes' if run['output_identical'] else 'NO'}")
     if not all(run["output_identical"] for run in record["runs"]):
-        print("error: backends disagree on operator output", file=sys.stderr)
+        print("error: configurations disagree on operator output", file=sys.stderr)
         return 1
     print(f"wrote {args.out}")
     return 0
