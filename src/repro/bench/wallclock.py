@@ -11,6 +11,11 @@ seconds on the host. It has two modes:
   and sweeps **read-worker counts** through the bounded-prefetch parallel
   reader (:mod:`repro.io.parallel_read`), measuring how much of the input
   phase hides behind compute — the paper's optimization #2 (§3.2).
+* :func:`bench_ipc_sweep` — sweeps the process backend's shared-memory
+  plane on/off × worker counts and records each run's full IPC-accounting
+  snapshot (bytes pickled per phase, segments, broadcasts). On a 1-CPU
+  host wall-clock deltas read as noise; the pickled-byte counters show
+  the shm win unambiguously.
 
 ``tools/bench_wallclock.py`` wraps both into a CLI that appends records
 to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
@@ -34,6 +39,7 @@ from typing import Callable, Sequence
 from repro.core.pipeline import RealRunResult, run_pipeline
 from repro.errors import BenchmarkError
 from repro.exec.process import make_backend
+from repro.exec.shm import shm_available
 from repro.io.corpus_io import store_corpus
 from repro.io.parallel_read import corpus_stream
 from repro.io.storage import FsStorage
@@ -44,6 +50,7 @@ from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
 __all__ = [
     "bench_wallclock",
     "bench_read_sweep",
+    "bench_ipc_sweep",
     "DEFAULT_WORKER_SWEEP",
     "DEFAULT_READ_WORKER_SWEEP",
 ]
@@ -160,6 +167,7 @@ def bench_wallclock(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
+                    "ipc": result.ipc,
                 }
             )
 
@@ -249,6 +257,7 @@ def bench_read_sweep(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
+                    "ipc": result.ipc,
                 }
             )
     finally:
@@ -265,6 +274,83 @@ def bench_read_sweep(
         "prefetch": prefetch,
         "repeats": repeats,
         "kmeans_iters": kmeans_iters,
+        "host": _host(),
+        "runs": runs,
+    }
+
+
+def bench_ipc_sweep(
+    profile: str = "mix",
+    scale: float = 0.01,
+    workers: Sequence[int] = DEFAULT_WORKER_SWEEP,
+    shm_modes: Sequence[bool] = (False, True),
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+) -> dict:
+    """Sweep the shared-memory plane on/off × worker counts.
+
+    Each run records wall-clock phases *and* the IPC-accounting snapshot
+    (:attr:`~repro.core.pipeline.RealRunResult.ipc`) — per-phase tasks,
+    bytes pickled each way, segments and broadcasts — plus the derived
+    ``kmeans_task_bytes_per_iter``, the number the tentpole targets:
+    with shm it is a few hundred token bytes regardless of block count,
+    without it one dense K×V centroid copy per block per iteration.
+    Output must stay bit-identical shm on/off.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    if not shm_available():
+        shm_modes = tuple(mode for mode in shm_modes if not mode)
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+
+    runs: list[dict] = []
+    reference: RealRunResult | None = None
+    for use_shm in shm_modes:
+        for n_workers in workers:
+            label = f"shm={use_shm} with {n_workers} process worker(s)"
+
+            def run_once() -> RealRunResult:
+                backend = make_backend("processes", n_workers, shm=use_shm)
+                try:
+                    return run_pipeline(
+                        corpus,
+                        backend=backend,
+                        tfidf=TfIdfOperator(),
+                        kmeans=KMeansOperator(max_iters=kmeans_iters),
+                    )
+                finally:
+                    backend.close()
+
+            total, result, phases = _best_of(repeats, run_once, label)
+            if reference is None:
+                reference = result
+            kmeans_ipc = (result.ipc or {}).get("phases", {}).get("kmeans", {})
+            runs.append(
+                {
+                    "shm": use_shm,
+                    "workers": n_workers,
+                    "phases": phases,
+                    "total_s": total,
+                    "ipc": result.ipc,
+                    "kmeans_task_bytes_per_iter": (
+                        kmeans_ipc.get("task_pickle_bytes", 0)
+                        / max(1, result.kmeans.n_iters)
+                    ),
+                    "output_identical": (
+                        result is reference or _matrices_equal(result, reference)
+                    ),
+                }
+            )
+
+    return {
+        "benchmark": "wallclock-ipc",
+        "profile": profile,
+        "scale": scale,
+        "n_docs": len(corpus),
+        "repeats": repeats,
+        "kmeans_iters": kmeans_iters,
+        "shm_available": shm_available(),
         "host": _host(),
         "runs": runs,
     }

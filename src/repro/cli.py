@@ -54,11 +54,16 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=max(1, os.cpu_count() or 1),
         help="worker count for threads/processes backends",
     )
+    parser.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=None,
+        help="share large arrays with process workers via POSIX shared "
+        "memory (default: on where available; --no-shm forces pickled IPC)",
+    )
 
 
 def _make_cli_backend(args):
     """Build the backend an invocation asked for (caller must close it)."""
-    return make_backend(args.backend, args.workers)
+    return make_backend(args.backend, args.workers, shm=args.shm)
 
 
 def _add_read_args(parser: argparse.ArgumentParser) -> None:
@@ -285,6 +290,16 @@ def _cmd_pipeline(args) -> int:
     for phase, seconds in result.phase_seconds.items():
         print(f"  {phase:>14}: {seconds:9.3f}s")
     print(f"  {'total':>14}: {result.total_s:9.3f}s")
+    if result.ipc is not None:
+        total = result.ipc["total"]
+        print(
+            f"IPC: {total['tasks']} tasks, "
+            f"{total['task_pickle_bytes'] / 1e6:.2f} MB pickled out / "
+            f"{total['result_pickle_bytes'] / 1e6:.2f} MB back, "
+            f"{total['segments']} shared segment(s) "
+            f"({total['segment_bytes'] / 1e6:.2f} MB), "
+            f"{total['broadcasts']} broadcast(s)"
+        )
     print(f"cluster sizes: {result.kmeans.cluster_sizes()} "
           f"({result.kmeans.n_iters} iterations, "
           f"converged={result.kmeans.converged})")

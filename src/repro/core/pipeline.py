@@ -38,6 +38,9 @@ class RealRunResult:
     #: Wall-clock seconds per phase, keyed by the paper's phase names.
     phase_seconds: dict[str, float] = field(default_factory=dict)
     backend_name: str = "sequential"
+    #: IPC-accounting snapshot of the run (``{"phases": ..., "total": ...}``,
+    #: see :class:`repro.exec.shm.IpcStats`); ``None`` for the inline path.
+    ipc: dict | None = None
 
     @property
     def total_s(self) -> float:
@@ -66,6 +69,8 @@ def run_pipeline(
     kmeans = kmeans or KMeansOperator()
     seconds: dict[str, float] = {}
     streamed = isinstance(corpus, DocumentStream)
+    if backend is not None:
+        backend.ipc.reset()  # this run's bill only
 
     t0 = time.perf_counter()
     wc = tfidf.wordcount.run(corpus, backend=backend)
@@ -90,4 +95,5 @@ def run_pipeline(
         kmeans=clusters,
         phase_seconds=seconds,
         backend_name=backend.name if backend is not None else "inline",
+        ipc=backend.ipc.snapshot() if backend is not None else None,
     )

@@ -9,6 +9,7 @@ plain real executors for functional runs.
 from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
 from repro.exec.machine import MachineSpec, fast_ssd_node, paper_node
 from repro.exec.process import BACKEND_CHOICES, ProcessBackend, make_backend
+from repro.exec.shm import IpcStats, shm_available
 from repro.exec.metrics import (
     Timeline,
     WorkSpan,
@@ -42,4 +43,6 @@ __all__ = [
     "ProcessBackend",
     "make_backend",
     "BACKEND_CHOICES",
+    "IpcStats",
+    "shm_available",
 ]

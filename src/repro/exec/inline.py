@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.exec.parallel import auto_grain
+from repro.exec.shm import IpcStats, LocalArrays, LocalBroadcast
 
 __all__ = [
     "ExecutionBackend",
@@ -97,6 +98,47 @@ class ExecutionBackend:
     name = "abstract"
     #: Degree of real parallelism the backend targets (1 for sequential).
     workers = 1
+    #: True when arrays shared via :meth:`share_arrays` live in named
+    #: shared-memory segments that *worker processes* can attach to.
+    #: Operators use this to pick the token/broadcast task shape; the
+    #: in-process backends share an address space, so for them the
+    #: zero-copy path is the plain by-reference path they already use.
+    uses_shm = False
+
+    def __init__(self) -> None:
+        #: Per-phase IPC accounting (see :class:`repro.exec.shm.IpcStats`).
+        #: In-process backends keep it too — operators charge phases
+        #: uniformly, and the zero counts are themselves the measurement.
+        self.ipc = IpcStats()
+
+    # -- shared-array plane -------------------------------------------------------
+
+    def share_arrays(self, tag: str, arrays) -> LocalArrays:
+        """Place phase-constant arrays where every worker can see them.
+
+        Returns a handle whose ``descriptor()`` is picklable into
+        ``configure`` initargs and whose ``close()`` releases the
+        placement. In-process default: a no-op wrapper around the very
+        same arrays (nothing is copied).
+        """
+        return LocalArrays(tag, arrays)
+
+    def open_broadcast(self, tag: str, template) -> LocalBroadcast:
+        """Open a channel for per-iteration array publication.
+
+        ``template`` fixes the shapes/dtypes every later
+        :meth:`broadcast` must match. In-process default: a reference
+        slot (publish stores references, readers get them back).
+        """
+        return LocalBroadcast(tag, stats=self.ipc)
+
+    def broadcast(self, channel, arrays) -> int:
+        """Publish this iteration's arrays; returns their generation.
+
+        Workers read them back through the channel *descriptor* with
+        ``read(generation)`` — tasks carry only the integer token.
+        """
+        return channel.publish(arrays)
 
     def configure(
         self, initializer: Callable[..., None], initargs: tuple = ()
@@ -121,14 +163,20 @@ class ExecutionBackend:
         raise NotImplementedError
 
     def map_stream(
-        self, fn: Callable[[ItemT], ResultT], items: Iterable[ItemT]
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+        *,
+        grain: int | None = None,
     ) -> list[ResultT]:
         """Apply ``fn`` to items as a lazy producer yields them, in order.
 
-        One task per item — callers pass pre-chunked work. Pooled backends
-        start executing early tasks while the producer (e.g. a prefetching
-        corpus reader) is still yielding later ones, overlapping input
-        with compute; in-process backends drain the producer inline.
+        Pooled backends start executing early tasks while the producer
+        (e.g. a prefetching corpus reader) is still yielding later ones,
+        overlapping input with compute; in-process backends drain the
+        producer inline. ``grain`` is items per submitted task — callers
+        whose items are already chunk-sized pass ``grain=1``; the process
+        backend micro-batches by default to amortize per-task pickling.
         """
         return [fn(item) for item in items]
 
@@ -161,6 +209,7 @@ class ThreadBackend(ExecutionBackend):
     """
 
     def __init__(self, workers: int) -> None:
+        super().__init__()
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -187,9 +236,11 @@ class ThreadBackend(ExecutionBackend):
         ]
         return gather_ordered(futures)
 
-    def map_stream(self, fn, items):
+    def map_stream(self, fn, items, *, grain=None):
         if self.workers == 1:
             return [fn(item) for item in items]
+        # Threads pay no pickle tax, so per-item submission is fine; the
+        # grain knob only matters for the process backend.
         return submit_stream(self._ensure_pool(), fn, items)
 
     def close(self) -> None:

@@ -11,12 +11,25 @@ Design points (see ``docs/backends.md`` for the cost model):
 * **Chunk-batched IPC.** ``map`` pickles one task per *chunk* of items
   (Cilk-style grain via :func:`~repro.exec.parallel.auto_grain`), so the
   per-task pickle/unpickle round trip is amortized over the whole chunk
-  instead of being paid per document.
+  instead of being paid per document. ``map_stream`` micro-batches the
+  producer's items the same way while still submitting each batch the
+  moment it fills.
 * **Per-worker initializer.** Phase-constant state (tokenizer, stopword
   table, vocabulary, prepared matrix) is shipped once per worker through
   :meth:`ProcessBackend.configure`, not serialized into every task.
   Reconfiguring with different state recycles the pool — one cheap pool
   generation per phase, not per task.
+* **Shared-memory data plane.** With ``shm`` enabled (the default where
+  POSIX shared memory works), :meth:`share_arrays` places large arrays
+  into named segments that workers attach zero-copy, and
+  :meth:`open_broadcast`/:meth:`broadcast` publish per-iteration arrays
+  into a double-buffered segment so tasks shrink to integer tokens. The
+  backend owns every segment's lifecycle: ``close()`` unlinks them all,
+  including after a worker crash.
+* **IPC accounting.** Tasks round-trip through an explicit
+  pickle-the-payload trampoline, so ``backend.ipc`` counts the *exact*
+  bytes serialized each way, per pipeline phase — on a 1-CPU host the
+  wall clock cannot show the shm win, the byte counters can.
 * **Order preservation.** Results are collected in submission order, so
   ``map`` output is aligned with its input no matter which worker
   finished first.
@@ -25,12 +38,13 @@ Design points (see ``docs/backends.md`` for the cost model):
   not-yet-started chunks are cancelled — a poisoned chunk does not leave
   its successors running behind the caller's back. The pool stays usable
   for subsequent ``map`` calls. A crashed worker (``BrokenProcessPool``)
-  resets the pool so the next call starts fresh.
+  resets the pool — and unlinks the shared plane — so nothing leaks.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
@@ -42,15 +56,18 @@ from repro.exec.inline import (
     ThreadBackend,
     _as_list,
     apply_chunk,
-    gather_ordered,
-    submit_stream,
 )
 from repro.exec.parallel import auto_grain
+from repro.exec.shm import ShmArrays, ShmBroadcast, ShmPlane, shm_available
 
 __all__ = ["ProcessBackend", "make_backend", "BACKEND_CHOICES", "default_start_method"]
 
 #: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
 BACKEND_CHOICES = ("sequential", "threads", "processes")
+
+#: ``map_stream`` cannot see the producer's length up front; its default
+#: micro-batch grain assumes a window of this many items.
+_STREAM_WINDOW = 256
 
 
 def default_start_method() -> str:
@@ -66,20 +83,66 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
+def run_pickled_chunk(payload: bytes) -> bytes:
+    """Worker-side trampoline for exact IPC accounting.
+
+    The parent pickles ``(fn, chunk)`` itself — measuring the payload —
+    and the worker pickles the results back, so both directions are
+    counted without serializing anything twice.
+    """
+    fn, chunk = pickle.loads(payload)
+    return pickle.dumps(apply_chunk(fn, chunk))
+
+
 class ProcessBackend(ExecutionBackend):
     """Runs operator loops on a pool of worker processes."""
 
-    def __init__(self, workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        shm: bool | None = None,
+    ) -> None:
+        super().__init__()
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.name = f"processes-{workers}"
         self._start_method = start_method or default_start_method()
+        if shm is None:
+            shm = shm_available()  # auto-fallback on platforms without it
+        elif shm and not shm_available():
+            raise ConfigurationError(
+                "shared memory requested but unavailable on this platform"
+            )
+        self._shm_enabled = bool(shm)
+        self._plane = ShmPlane(stats=self.ipc) if self._shm_enabled else None
         self._pool: ProcessPoolExecutor | None = None
         #: (initializer, initargs) the *current* pool generation was built
         #: with; ``configure`` compares against it to avoid restarts when
         #: the same phase maps repeatedly.
         self._init: tuple[Callable[..., None], tuple] | None = None
+
+    # -- shared-array plane -------------------------------------------------------
+
+    @property
+    def uses_shm(self) -> bool:  # type: ignore[override]
+        return self._shm_enabled
+
+    def share_arrays(self, tag: str, arrays) -> ShmArrays:
+        if self._plane is None:
+            raise ConfigurationError(
+                "share_arrays on a ProcessBackend with shm disabled: workers "
+                "cannot see parent memory — ship state via configure() instead"
+            )
+        return self._plane.place(tag, dict(arrays))
+
+    def open_broadcast(self, tag: str, template) -> ShmBroadcast:
+        if self._plane is None:
+            raise ConfigurationError(
+                "open_broadcast on a ProcessBackend with shm disabled"
+            )
+        return self._plane.open_broadcast(tag, template)
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -98,8 +161,15 @@ class ProcessBackend(ExecutionBackend):
                 and all(a is b for a, b in zip(prev_args, initargs))
             ):
                 return
-        self.close()
+        self._close_pool()
         self._init = (initializer, initargs)
+        # Under fork the pool inherits initargs copy-on-write — nothing is
+        # pickled; spawn/forkserver serialize them into every worker.
+        if self._start_method == "fork":
+            shipped = 0
+        else:
+            shipped = len(pickle.dumps(initargs)) * self.workers
+        self.ipc.record_configure(shipped)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -112,12 +182,53 @@ class ProcessBackend(ExecutionBackend):
             )
         return self._pool
 
-    def close(self) -> None:
+    def _close_pool(self) -> None:
+        """Shut the pool down but keep shared segments alive.
+
+        ``configure`` recycles pools between phases; arrays an operator
+        has just placed for the *next* phase must survive the recycle.
+        """
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def close(self) -> None:
+        self._close_pool()
+        if self._plane is not None:
+            self._plane.close()
+
+    def _broken(self) -> None:
+        # A worker died (segfault, OOM kill): the pool is unusable and its
+        # workers may never have detached. Full close — pool reset *and*
+        # segment unlink — so a crash cannot leak /dev/shm entries; the
+        # next map starts a fresh generation.
+        self.close()
+
     # -- execution ---------------------------------------------------------------
+
+    def _submit_chunk(self, pool, fn, chunk):
+        payload = pickle.dumps((fn, chunk))
+        self.ipc.record_task(len(payload))
+        return pool.submit(run_pickled_chunk, payload)
+
+    def _gather_pickled(self, futures) -> list:
+        """Collect trampoline futures in order, accounting result bytes.
+
+        If any chunk raises, every future that has not started yet is
+        cancelled before the exception propagates — a poisoned chunk must
+        not leave the chunks submitted after it running.
+        """
+        results: list = []
+        try:
+            for future in futures:
+                blob = future.result()
+                self.ipc.record_result(len(blob))
+                results.extend(pickle.loads(blob))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
 
     def map(self, fn, items, *, grain=None):
         items = _as_list(items)
@@ -129,35 +240,64 @@ class ProcessBackend(ExecutionBackend):
             raise ConfigurationError(f"grain must be >= 1, got {grain}")
         pool = self._ensure_pool()
         futures = [
-            pool.submit(apply_chunk, fn, items[start : start + grain])
+            self._submit_chunk(pool, fn, items[start : start + grain])
             for start in range(0, len(items), grain)
         ]
         try:
-            # gather_ordered cancels not-yet-started chunks on any failure,
-            # so a poisoned chunk does not leave its successors running.
-            return gather_ordered(futures)
+            return self._gather_pickled(futures)
         except BrokenProcessPool:
-            # A worker died (segfault, OOM kill): the pool is unusable.
-            # Reset so the next map starts a fresh generation.
-            self.close()
+            self._broken()
             raise
 
-    def map_stream(self, fn, items):
+    def map_stream(self, fn, items, *, grain=None):
+        """Micro-batched streaming map: one pickled task per *batch*.
+
+        Items are grouped into batches of ``grain`` as the producer
+        yields them, and each batch is submitted the moment it fills —
+        delivery stays ordered and submit-as-produced, but a slow
+        producer of many small items no longer pays one pickle round
+        trip per item.
+        """
+        if grain is None:
+            grain = auto_grain(_STREAM_WINDOW, self.workers)
+        if grain < 1:
+            raise ConfigurationError(f"grain must be >= 1, got {grain}")
+        pool = self._ensure_pool()
+        futures: list = []
         try:
-            return submit_stream(self._ensure_pool(), fn, items)
+            batch: list = []
+            for item in items:
+                batch.append(item)
+                if len(batch) >= grain:
+                    futures.append(self._submit_chunk(pool, fn, batch))
+                    batch = []
+            if batch:
+                futures.append(self._submit_chunk(pool, fn, batch))
+            return self._gather_pickled(futures)
         except BrokenProcessPool:
-            self.close()
+            self._broken()
+            raise
+        except BaseException:
+            for future in futures:
+                future.cancel()
             raise
 
 
-def make_backend(name: str, workers: int = 1) -> ExecutionBackend:
-    """Build a backend from its CLI name (one of :data:`BACKEND_CHOICES`)."""
+def make_backend(
+    name: str, workers: int = 1, shm: bool | None = None
+) -> ExecutionBackend:
+    """Build a backend from its CLI name (one of :data:`BACKEND_CHOICES`).
+
+    ``shm`` applies to the process backend (``None`` = use it where
+    available); the in-process backends share an address space, so for
+    them the flag is a no-op by construction.
+    """
     if name == "sequential":
         return SequentialBackend()
     if name == "threads":
         return ThreadBackend(workers)
     if name == "processes":
-        return ProcessBackend(workers)
+        return ProcessBackend(workers, shm=shm)
     raise ConfigurationError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_CHOICES)}"
     )

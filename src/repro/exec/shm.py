@@ -1,0 +1,556 @@
+"""Shared-memory array plane + IPC accounting for the real backends.
+
+The process backend's hidden tax is serialization across the in-node
+boundary: phase-constant state (the prepared CSR matrix, the transform
+vocabulary) is shipped to every worker, and per-iteration K-means
+centroids used to be re-pickled into every block task. This module
+extends the fused pipeline's "memory edges" across the process boundary
+(paper §3.1/§3.3): arrays are *placed* once into named
+``multiprocessing.shared_memory`` segments and workers *attach*
+zero-copy, while per-iteration state is *broadcast* into a
+double-buffered segment — one buffer write per iteration instead of one
+pickled copy per task.
+
+Three layers:
+
+* **Descriptors** — small, picklable recipes a worker turns back into
+  numpy arrays: :class:`ShmArraysDescriptor` (``resolve()``) and
+  :class:`ShmBroadcastDescriptor` (``read(generation)``). Their
+  in-process twins :class:`LocalArrays` / :class:`LocalBroadcast` hold
+  plain references (sequential/thread backends share an address space,
+  so "zero-copy" is trivially a no-op for them).
+* **Parent-side handles** — :class:`ShmArrays` / :class:`ShmBroadcast`
+  own a segment's lifecycle (create → write → unlink); the
+  :class:`ShmPlane` tracks every handle a backend created so
+  ``backend.close()`` can unlink them all even after a worker crash.
+* **Accounting** — :class:`IpcStats` counts, per pipeline phase, the
+  bytes actually pickled (tasks, results, configure) next to the bytes
+  that crossed through shared segments instead. On a noisy or 1-CPU
+  host the wall clock cannot show the win; the pickled-bytes counter
+  does, unambiguously.
+
+Segments are named ``repro_shm_<pid>_<n>`` so tests can scan for leaks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+try:  # POSIX/Windows shared memory; absent on some exotic platforms.
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without _posixshmem
+    _shared_memory = None
+
+__all__ = [
+    "IpcStats",
+    "PhaseIpc",
+    "LocalArrays",
+    "LocalBroadcast",
+    "ShmArrays",
+    "ShmArraysDescriptor",
+    "ShmBroadcast",
+    "ShmBroadcastDescriptor",
+    "ShmPlane",
+    "shm_available",
+    "SEGMENT_PREFIX",
+]
+
+#: Prefix of every segment this module creates; the leak-check fixture in
+#: the test suite scans ``/dev/shm`` for it.
+SEGMENT_PREFIX = "repro_shm"
+
+_SEQUENCE = itertools.count()
+
+#: Field offsets inside a segment are rounded up to this, so any dtype's
+#: alignment requirement is met by the view constructed over the buffer.
+_ALIGN = 16
+
+#: Per-slot broadcast header: one int64 generation stamp, padded.
+_HEADER_BYTES = _ALIGN
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_SEQUENCE)}"
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when named shared memory actually works on this host.
+
+    Probes once (create + unlink of a 1-byte segment) and caches: some
+    platforms import ``multiprocessing.shared_memory`` fine but fail at
+    ``shm_open`` time (no ``/dev/shm``, sandboxed runtimes).
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(
+                    create=True, size=1, name=_segment_name()
+                )
+                probe.unlink()
+                probe.close()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+# -- IPC accounting ---------------------------------------------------------------
+
+
+@dataclass
+class PhaseIpc:
+    """IPC traffic of one pipeline phase (all byte counts are exact)."""
+
+    #: Tasks submitted to a worker pool (chunks, not items).
+    tasks: int = 0
+    #: Bytes pickled into task payloads (function + chunk).
+    task_pickle_bytes: int = 0
+    #: Bytes pickled in task results on the way back.
+    result_pickle_bytes: int = 0
+    #: configure() calls that (re)shipped per-worker state.
+    configures: int = 0
+    #: Pickled size of the shipped initargs.
+    configure_pickle_bytes: int = 0
+    #: Shared-memory segments created.
+    segments: int = 0
+    #: Capacity of those segments.
+    segment_bytes: int = 0
+    #: broadcast() publications.
+    broadcasts: int = 0
+    #: Bytes written into broadcast buffers (not pickled).
+    broadcast_buffer_bytes: int = 0
+
+    def add(self, other: "PhaseIpc") -> None:
+        for spec in dataclass_fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            spec.name: getattr(self, spec.name) for spec in dataclass_fields(self)
+        }
+
+
+class IpcStats:
+    """Per-phase IPC counters owned by one execution backend.
+
+    Operators call :meth:`set_phase` when they start a backend run; every
+    subsequent task/configure/segment/broadcast is charged to that phase.
+    ``snapshot()`` returns a JSON-able dict that ``run_pipeline`` surfaces
+    in :class:`~repro.core.pipeline.RealRunResult` and the wall-clock
+    benchmark appends to ``BENCH_wallclock.json``.
+    """
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseIpc] = {}
+        self._phase = "misc"
+
+    def reset(self) -> None:
+        self._phases = {}
+        self._phase = "misc"
+
+    def set_phase(self, name: str) -> None:
+        self._phase = name
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def _current(self) -> PhaseIpc:
+        bucket = self._phases.get(self._phase)
+        if bucket is None:
+            bucket = self._phases[self._phase] = PhaseIpc()
+        return bucket
+
+    # -- recording hooks (called by backends and segment handles) ---------------
+
+    def record_task(self, pickle_bytes: int) -> None:
+        bucket = self._current()
+        bucket.tasks += 1
+        bucket.task_pickle_bytes += pickle_bytes
+
+    def record_result(self, pickle_bytes: int) -> None:
+        self._current().result_pickle_bytes += pickle_bytes
+
+    def record_configure(self, pickle_bytes: int) -> None:
+        bucket = self._current()
+        bucket.configures += 1
+        bucket.configure_pickle_bytes += pickle_bytes
+
+    def record_segment(self, nbytes: int) -> None:
+        bucket = self._current()
+        bucket.segments += 1
+        bucket.segment_bytes += nbytes
+
+    def record_broadcast(self, buffer_bytes: int) -> None:
+        bucket = self._current()
+        bucket.broadcasts += 1
+        bucket.broadcast_buffer_bytes += buffer_bytes
+
+    # -- reading ---------------------------------------------------------------
+
+    def phase_stats(self, name: str) -> PhaseIpc:
+        """Counters for one phase (zeros when the phase never ran)."""
+        return self._phases.get(name, PhaseIpc())
+
+    def total(self) -> PhaseIpc:
+        combined = PhaseIpc()
+        for bucket in self._phases.values():
+            combined.add(bucket)
+        return combined
+
+    def snapshot(self) -> dict:
+        return {
+            "phases": {name: b.as_dict() for name, b in self._phases.items()},
+            "total": self.total().as_dict(),
+        }
+
+
+# -- in-process (no-op) sharing ----------------------------------------------------
+
+
+class LocalArrays:
+    """Zero-copy array sharing inside one address space.
+
+    The sequential and thread backends' implementation of the shared
+    plane: the "descriptor" is the handle itself and ``resolve()`` hands
+    back the very arrays that were placed. Nothing is copied, nothing is
+    named, nothing can leak.
+    """
+
+    def __init__(self, tag: str, arrays: dict[str, np.ndarray]) -> None:
+        self.tag = tag
+        self._arrays: dict[str, np.ndarray] | None = dict(arrays)
+        self.nbytes = int(sum(np.asarray(a).nbytes for a in arrays.values()))
+
+    def descriptor(self) -> "LocalArrays":
+        return self
+
+    def resolve(self) -> dict[str, np.ndarray]:
+        if self._arrays is None:
+            raise ConfigurationError(f"shared arrays {self.tag!r} already closed")
+        return self._arrays
+
+    def close(self) -> None:
+        self._arrays = None
+
+
+class LocalBroadcast:
+    """In-process broadcast channel: publish stores references.
+
+    ``read(generation)`` verifies the caller asked for the generation
+    that is actually current — the same staleness check the
+    shared-memory channel performs through its slot header.
+    """
+
+    def __init__(self, tag: str, stats: IpcStats | None = None) -> None:
+        self.tag = tag
+        self._stats = stats
+        self._generation = -1
+        self._arrays: tuple[np.ndarray, ...] | None = None
+
+    def descriptor(self) -> "LocalBroadcast":
+        return self
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def publish(self, arrays) -> int:
+        self._arrays = tuple(arrays)
+        self._generation += 1
+        if self._stats is not None:
+            # In-process: nothing is copied, the broadcast is free.
+            self._stats.record_broadcast(0)
+        return self._generation
+
+    def read(self, generation: int) -> tuple[np.ndarray, ...]:
+        if self._arrays is None:
+            raise ConfigurationError(f"broadcast {self.tag!r} has never published")
+        if generation != self._generation:
+            raise ConfigurationError(
+                f"broadcast {self.tag!r}: generation {generation} requested "
+                f"but {self._generation} is current"
+            )
+        return self._arrays
+
+    def close(self) -> None:
+        self._arrays = None
+
+
+# -- shared-memory segments --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Field:
+    """Layout of one array inside a segment (offsets are slot-relative)."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _layout(
+    arrays: list[tuple[str, np.ndarray]], base: int = 0
+) -> tuple[tuple[_Field, ...], int]:
+    """Assign aligned offsets to each array; returns (fields, end offset)."""
+    fields = []
+    offset = base
+    for key, array in arrays:
+        array = np.asarray(array)
+        fields.append(_Field(key, array.dtype.str, tuple(array.shape), offset))
+        offset = _aligned(offset + array.nbytes)
+    return tuple(fields), offset
+
+
+def _view(buf, spec: _Field, base: int = 0) -> np.ndarray:
+    return np.ndarray(spec.shape, dtype=spec.dtype, buffer=buf, offset=base + spec.offset)
+
+
+#: Worker-side cache of attached segments, keyed by segment name. A
+#: worker attaches each segment once per pool generation; the mapping
+#: dies with the process, the *name* is unlinked by the parent.
+_ATTACHED: dict[str, object] = {}
+
+
+def _attach(name: str):
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        if _shared_memory is None:  # pragma: no cover - guarded by shm_available
+            raise ConfigurationError("shared memory is unavailable on this platform")
+        segment = _shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    return segment
+
+
+def _release_segment(shm) -> None:
+    """Unlink + close, tolerating repeats and live exported views."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        shm.close()
+    except BufferError:
+        # A numpy view over the buffer is still alive somewhere; the
+        # mapping is released when it is garbage collected. The *name*
+        # is already unlinked, which is what leak checks observe.
+        pass
+
+
+@dataclass(frozen=True)
+class ShmArraysDescriptor:
+    """Picklable recipe for attaching to a placed-array segment."""
+
+    segment: str
+    fields: tuple[_Field, ...]
+    nbytes: int
+
+    def resolve(self) -> dict[str, np.ndarray]:
+        """Attach (cached) and return zero-copy views, keyed like place()."""
+        shm = _attach(self.segment)
+        return {spec.key: _view(shm.buf, spec) for spec in self.fields}
+
+
+class ShmArrays:
+    """Parent-side owner of one segment holding named arrays.
+
+    ``place`` semantics: the arrays are copied into the segment **once**
+    at construction; every worker that resolves the descriptor reads the
+    same physical pages. ``close()`` unlinks the name and is idempotent.
+    """
+
+    def __init__(
+        self, tag: str, arrays: dict[str, np.ndarray], stats: IpcStats | None = None
+    ) -> None:
+        if _shared_memory is None:
+            raise ConfigurationError("shared memory is unavailable on this platform")
+        self.tag = tag
+        items = [(key, np.ascontiguousarray(a)) for key, a in arrays.items()]
+        fields, total = _layout(items)
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=max(1, total), name=_segment_name()
+        )
+        for (key, array), spec in zip(items, fields):
+            _view(self._shm.buf, spec)[...] = array
+        self._descriptor = ShmArraysDescriptor(self._shm.name, fields, total)
+        if stats is not None:
+            stats.record_segment(total)
+
+    @property
+    def nbytes(self) -> int:
+        return self._descriptor.nbytes
+
+    def descriptor(self) -> ShmArraysDescriptor:
+        return self._descriptor
+
+    def resolve(self) -> dict[str, np.ndarray]:
+        """Parent-side views over the placed arrays."""
+        if self._shm is None:
+            raise ConfigurationError(f"shared arrays {self.tag!r} already closed")
+        return {spec.key: _view(self._shm.buf, spec) for spec in self._descriptor.fields}
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            _release_segment(shm)
+
+
+@dataclass(frozen=True)
+class ShmBroadcastDescriptor:
+    """Picklable recipe for reading a double-buffered broadcast channel."""
+
+    segment: str
+    fields: tuple[_Field, ...]
+    slot_bytes: int
+
+    def read(self, generation: int) -> tuple[np.ndarray, ...]:
+        """Views into generation's slot, after verifying its stamp."""
+        shm = _attach(self.segment)
+        base = (generation % 2) * self.slot_bytes
+        stamp = int(np.ndarray((1,), dtype=np.int64, buffer=shm.buf, offset=base)[0])
+        if stamp != generation:
+            raise ConfigurationError(
+                f"broadcast slot holds generation {stamp}, expected {generation}"
+            )
+        return tuple(_view(shm.buf, spec, base) for spec in self.fields)
+
+
+class ShmBroadcast:
+    """Double-buffered broadcast channel over one shared segment.
+
+    ``publish(arrays)`` copies the iteration's arrays into slot
+    ``generation % 2`` and stamps the slot header with the generation, so
+    a task token carrying only the generation lets every worker find —
+    and sanity-check — the right buffer. Two slots mean a publish never
+    writes into the buffer a straggler from the previous, already-merged
+    iteration might still be reading.
+    """
+
+    def __init__(
+        self, tag: str, template, stats: IpcStats | None = None
+    ) -> None:
+        if _shared_memory is None:
+            raise ConfigurationError("shared memory is unavailable on this platform")
+        self.tag = tag
+        self._stats = stats
+        items = [(f"a{i}", np.asarray(a)) for i, a in enumerate(template)]
+        fields, slot = _layout(items, base=_HEADER_BYTES)
+        slot = _aligned(slot)
+        self._payload_bytes = int(sum(a.nbytes for _, a in items))
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=max(1, 2 * slot), name=_segment_name()
+        )
+        self._descriptor = ShmBroadcastDescriptor(self._shm.name, fields, slot)
+        self._generation = -1
+        # Stamp both slots as "never published".
+        for base in (0, slot):
+            np.ndarray((1,), dtype=np.int64, buffer=self._shm.buf, offset=base)[0] = -1
+        if stats is not None:
+            stats.record_segment(2 * slot)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def nbytes(self) -> int:
+        return 2 * self._descriptor.slot_bytes
+
+    def descriptor(self) -> ShmBroadcastDescriptor:
+        return self._descriptor
+
+    def publish(self, arrays) -> int:
+        if self._shm is None:
+            raise ConfigurationError(f"broadcast {self.tag!r} already closed")
+        arrays = tuple(arrays)
+        if len(arrays) != len(self._descriptor.fields):
+            raise ConfigurationError(
+                f"broadcast {self.tag!r} expects {len(self._descriptor.fields)} "
+                f"arrays, got {len(arrays)}"
+            )
+        self._generation += 1
+        base = (self._generation % 2) * self._descriptor.slot_bytes
+        for array, spec in zip(arrays, self._descriptor.fields):
+            array = np.asarray(array)
+            if tuple(array.shape) != spec.shape or array.dtype.str != spec.dtype:
+                raise ConfigurationError(
+                    f"broadcast {self.tag!r} field {spec.key}: shape/dtype "
+                    f"changed since the channel was opened"
+                )
+            _view(self._shm.buf, spec, base)[...] = array
+        # Stamp last: a reader that raced the copy sees a stale stamp,
+        # not a half-written payload passing for the new generation.
+        np.ndarray((1,), dtype=np.int64, buffer=self._shm.buf, offset=base)[0] = (
+            self._generation
+        )
+        if self._stats is not None:
+            self._stats.record_broadcast(self._payload_bytes)
+        return self._generation
+
+    def read(self, generation: int) -> tuple[np.ndarray, ...]:
+        if self._shm is None:
+            raise ConfigurationError(f"broadcast {self.tag!r} already closed")
+        base = (generation % 2) * self._descriptor.slot_bytes
+        stamp = int(
+            np.ndarray((1,), dtype=np.int64, buffer=self._shm.buf, offset=base)[0]
+        )
+        if stamp != generation:
+            raise ConfigurationError(
+                f"broadcast slot holds generation {stamp}, expected {generation}"
+            )
+        return tuple(
+            _view(self._shm.buf, spec, base) for spec in self._descriptor.fields
+        )
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            _release_segment(shm)
+
+
+class ShmPlane:
+    """Every segment one backend created, so close-time cleanup is total.
+
+    Handles are also returned to the operators that placed them (for
+    early, per-phase release); the plane's ``close()`` is the backstop
+    that runs on ``backend.close()`` — including the ``BrokenProcessPool``
+    path — and unlinking twice is safe.
+    """
+
+    def __init__(self, stats: IpcStats | None = None) -> None:
+        self._stats = stats
+        self._handles: list = []
+
+    def place(self, tag: str, arrays: dict[str, np.ndarray]) -> ShmArrays:
+        handle = ShmArrays(tag, arrays, stats=self._stats)
+        self._handles.append(handle)
+        return handle
+
+    def open_broadcast(self, tag: str, template) -> ShmBroadcast:
+        handle = ShmBroadcast(tag, template, stats=self._stats)
+        self._handles.append(handle)
+        return handle
+
+    def close(self) -> None:
+        handles, self._handles = self._handles, []
+        for handle in handles:
+            handle.close()

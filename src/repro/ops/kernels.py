@@ -30,9 +30,12 @@ __all__ = [
     "init_wordcount_worker",
     "count_chunk",
     "init_transform_worker",
+    "init_transform_worker_shm",
     "transform_chunk",
     "init_kmeans_worker",
+    "init_kmeans_worker_shm",
     "assign_chunk",
+    "assign_block_span",
 ]
 
 #: Per-worker state installed by the ``init_*`` functions. Keyed by phase
@@ -85,6 +88,26 @@ def init_transform_worker(
     _STATE["transform"] = (index, idf, min_df)
 
 
+def init_transform_worker_shm(descriptor, min_df: int) -> None:
+    """Rebuild the vocabulary/idf snapshot from a shared segment.
+
+    ``descriptor`` resolves (zero-copy) to the vocabulary packed as one
+    UTF-8 blob with cumulative end offsets plus the idf table; the strings
+    and Python floats are reconstructed locally — identical values to the
+    pickled initargs they replace — and handed to
+    :func:`init_transform_worker`, so :func:`transform_chunk` is untouched.
+    """
+    arrays = descriptor.resolve()
+    raw = arrays["vocab_blob"].tobytes()
+    vocabulary: list[str] = []
+    start = 0
+    for end in arrays["vocab_ends"]:
+        end = int(end)
+        vocabulary.append(raw[start:end].decode("utf-8"))
+        start = end
+    init_transform_worker(vocabulary, arrays["idf"].tolist(), min_df)
+
+
 def transform_chunk(
     chunk: list[list[tuple[str, int]]]
 ) -> list[SparseVector]:
@@ -123,6 +146,36 @@ def init_kmeans_worker(
     _STATE["kmeans"] = (indices, values, sq_norms)
 
 
+def init_kmeans_worker_shm(matrix_descriptor, channel_descriptor, bounds) -> None:
+    """Attach to the shared matrix instead of receiving a pickled copy.
+
+    ``matrix_descriptor`` resolves to the flat CSR triple plus squared
+    norms placed once by the parent; the per-document index/value views
+    are sliced out of the attached buffers — the same values
+    :func:`init_kmeans_worker` would have received, at zero IPC cost.
+    ``channel_descriptor``/``bounds`` equip :func:`assign_block_span` to
+    read each iteration's broadcast centroids and walk its blocks.
+    """
+    from repro.sparse.matrix import CsrMatrix
+
+    arrays = matrix_descriptor.resolve()
+    matrix = CsrMatrix.from_arrays(
+        arrays["indptr"],
+        arrays["indices"],
+        arrays["values"],
+        n_cols=0,  # column count is irrelevant to the assignment kernel
+    )
+    indptr = matrix.indptr
+    doc_indices: list[np.ndarray] = []
+    doc_values: list[np.ndarray] = []
+    for doc in range(matrix.n_rows):
+        start, end = int(indptr[doc]), int(indptr[doc + 1])
+        doc_indices.append(matrix.indices[start:end])
+        doc_values.append(matrix.data[start:end])
+    _STATE["kmeans"] = (doc_indices, doc_values, arrays["sq_norms"])
+    _STATE["kmeans_shm"] = (channel_descriptor, tuple(bounds))
+
+
 def assign_chunk(
     task: tuple[int, int, np.ndarray, np.ndarray]
 ) -> tuple[list[int], np.ndarray, np.ndarray, float]:
@@ -137,6 +190,45 @@ def assign_chunk(
     """
     start, stop, centroids, centroid_sq_norms = task
     indices, values, sq_norms = _STATE["kmeans"]
+    return _assign_block(
+        start, stop, centroids, centroid_sq_norms, indices, values, sq_norms
+    )
+
+
+def assign_block_span(
+    task: tuple[int, int, int]
+) -> list[tuple[list[int], np.ndarray, np.ndarray, float]]:
+    """Assign a span of blocks against broadcast centroids (shm path).
+
+    ``task`` is a constant-size token ``(first_block, last_block,
+    generation)``: the centroids travel through the broadcast channel,
+    not the task pickle, so per-iteration task bytes are independent of
+    the block count. The span returns one result *per block* — blocks
+    are never merged worker-side, which keeps the parent's fixed
+    block-order merge (and therefore the floating-point grouping)
+    identical to the non-shm path.
+    """
+    first, last, generation = task
+    indices, values, sq_norms = _STATE["kmeans"]
+    channel, bounds = _STATE["kmeans_shm"]
+    centroids, centroid_sq_norms = channel.read(generation)
+    return [
+        _assign_block(
+            start, stop, centroids, centroid_sq_norms, indices, values, sq_norms
+        )
+        for start, stop in bounds[first:last]
+    ]
+
+
+def _assign_block(
+    start: int,
+    stop: int,
+    centroids: np.ndarray,
+    centroid_sq_norms: np.ndarray,
+    indices,
+    values,
+    sq_norms,
+) -> tuple[list[int], np.ndarray, np.ndarray, float]:
     K = centroids.shape[0]
     partial = np.zeros_like(centroids)
     counts = np.zeros(K, dtype=np.int64)

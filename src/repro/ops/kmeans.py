@@ -61,6 +61,26 @@ PHASE_KMEANS = "kmeans"
 KMEANS_GRAIN_DOCS = 8192
 
 
+def _block_spans(n_blocks: int, workers: int) -> list[tuple[int, int]]:
+    """Group block indices into ≤ ``8·workers`` contiguous spans.
+
+    On the shm path each task covers a *span* of blocks, so the number of
+    tasks per iteration — and with constant-size tokens, the pickled bytes
+    per iteration — depends only on the worker count, never on how many
+    blocks the document count produced. ~8 spans per worker keeps load
+    balancing on par with one-task-per-block scheduling.
+    """
+    n_spans = min(n_blocks, 8 * workers)
+    base, extra = divmod(n_blocks, n_spans)
+    spans = []
+    first = 0
+    for at in range(n_spans):
+        size = base + (1 if at < extra else 0)
+        spans.append((first, first + size))
+        first += size
+    return spans
+
+
 @dataclass
 class KMeansResult:
     """Clustering produced by :class:`KMeansOperator`."""
@@ -395,11 +415,10 @@ class KMeansOperator:
     def _fit_backend(
         self, matrix: CsrMatrix, backend: ExecutionBackend
     ) -> KMeansResult:
-        K = self.n_clusters
+        backend.ipc.set_phase(PHASE_KMEANS)
         prepared = _Prepared(matrix)
         centroids = self._init_centroids(matrix, prepared)
         centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
-        sq_norms = prepared.sq_norms
 
         # Block bounds depend only on the document count (not on the
         # backend's worker count): floating-point accumulation order is
@@ -411,11 +430,102 @@ class KMeansOperator:
             (start, min(start + grain, n_docs))
             for start in range(0, n_docs, grain)
         ]
+
+        if backend.uses_shm:
+            return self._fit_shm(
+                matrix, backend, prepared, centroids, centroid_sq_norms, bounds
+            )
+
         backend.configure(
             kernels.init_kmeans_worker,
-            (prepared.indices, prepared.values, sq_norms),
+            (prepared.indices, prepared.values, prepared.sq_norms),
         )
 
+        def run_iteration(centroids, centroid_sq_norms):
+            # The dense K×V centroid array rides inside every block task —
+            # the per-iteration IPC the shm path eliminates.
+            tasks = [
+                (start, stop, centroids, centroid_sq_norms)
+                for start, stop in bounds
+            ]
+            return backend.map(kernels.assign_chunk, tasks, grain=1)
+
+        return self._lloyd(bounds, centroids, centroid_sq_norms, run_iteration)
+
+    def _fit_shm(
+        self,
+        matrix: CsrMatrix,
+        backend: ExecutionBackend,
+        prepared: _Prepared,
+        centroids: np.ndarray,
+        centroid_sq_norms: np.ndarray,
+        bounds: list[tuple[int, int]],
+    ) -> KMeansResult:
+        """Lloyd's on the shared-memory data plane.
+
+        The prepared matrix is *placed* once (workers attach zero-copy in
+        the initializer instead of receiving a pickled copy), and each
+        iteration's centroids are *broadcast* once into a double-buffered
+        segment — block tasks shrink to ``(first, last, generation)``
+        tokens, so per-iteration pickled bytes are independent of both
+        the block count and the K×V centroid size.
+        """
+        indptr, flat_indices, flat_values = matrix.as_arrays()
+        shared = backend.share_arrays(
+            "kmeans-matrix",
+            {
+                "indptr": indptr,
+                "indices": flat_indices,
+                "values": flat_values,
+                "sq_norms": np.asarray(prepared.sq_norms, dtype=np.float64),
+            },
+        )
+        channel = backend.open_broadcast(
+            "kmeans-centroids", (centroids, centroid_sq_norms)
+        )
+        spans = _block_spans(len(bounds), backend.workers)
+        try:
+            backend.configure(
+                kernels.init_kmeans_worker_shm,
+                (shared.descriptor(), channel.descriptor(), tuple(bounds)),
+            )
+
+            def run_iteration(centroids, centroid_sq_norms):
+                generation = backend.broadcast(
+                    channel, (centroids, centroid_sq_norms)
+                )
+                tasks = [(first, last, generation) for first, last in spans]
+                span_results = backend.map(
+                    kernels.assign_block_span, tasks, grain=1
+                )
+                # Flatten spans back to per-block results: the merge below
+                # must see the exact block sequence of the non-shm path.
+                return [block for span in span_results for block in span]
+
+            return self._lloyd(bounds, centroids, centroid_sq_norms, run_iteration)
+        finally:
+            # The segments outlive the pool generation (configure recycles
+            # pools without touching them) but not the fit; the backend's
+            # close() would also unlink them as a crash-path backstop.
+            channel.close()
+            shared.close()
+
+    def _lloyd(
+        self,
+        bounds: list[tuple[int, int]],
+        centroids: np.ndarray,
+        centroid_sq_norms: np.ndarray,
+        run_iteration,
+    ) -> KMeansResult:
+        """The iteration loop shared by the shm and pickled-task paths.
+
+        ``run_iteration(centroids, centroid_sq_norms)`` returns one
+        result per block, in block order; everything else — the fixed
+        block-order merge, finalize, convergence — is identical, which
+        is what makes the two paths bit-identical.
+        """
+        K = self.n_clusters
+        n_docs = bounds[-1][1]
         assignments = [-1] * n_docs
         previous = list(assignments)
         inertia = 0.0
@@ -424,11 +534,7 @@ class KMeansOperator:
         inertia_history: list[float] = []
         for _ in range(self.max_iters):
             n_iters += 1
-            tasks = [
-                (start, stop, centroids, centroid_sq_norms)
-                for start, stop in bounds
-            ]
-            block_results = backend.map(kernels.assign_chunk, tasks, grain=1)
+            block_results = run_iteration(centroids, centroid_sq_norms)
 
             # Merge in fixed block order (deterministic float grouping).
             merged = np.zeros_like(centroids)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.cost_model import (
     DEFAULT_COSTS,
     UNIT_SCALE,
@@ -349,22 +351,51 @@ class TfIdfOperator:
                 for tf in wc.doc_tfs
             ]
         else:
-            backend.configure(
-                kernels.init_transform_worker, (vocabulary, idf, self.min_df)
-            )
+            backend.ipc.set_phase(PHASE_TRANSFORM)
+            shared = None
+            if backend.uses_shm:
+                # Snapshot the vocabulary + idf into one shared segment:
+                # strings packed as a UTF-8 blob with cumulative end
+                # offsets. Workers attach zero-copy instead of receiving
+                # the whole table pickled into their initargs.
+                encoded = [term.encode("utf-8") for term in vocabulary]
+                shared = backend.share_arrays(
+                    "transform",
+                    {
+                        "vocab_blob": np.frombuffer(
+                            b"".join(encoded) or b"\0", dtype=np.uint8
+                        ),
+                        "vocab_ends": np.cumsum(
+                            [len(raw) for raw in encoded], dtype=np.int64
+                        ),
+                        "idf": np.asarray(idf, dtype=np.float64),
+                    },
+                )
+                backend.configure(
+                    kernels.init_transform_worker_shm,
+                    (shared.descriptor(), self.min_df),
+                )
+            else:
+                backend.configure(
+                    kernels.init_transform_worker, (vocabulary, idf, self.min_df)
+                )
             entry_lists = [list(tf.items()) for tf in wc.doc_tfs]
             grain = auto_grain(len(entry_lists), backend.workers)
             chunks = [
                 entry_lists[at : at + grain]
                 for at in range(0, len(entry_lists), grain)
             ]
-            rows = [
-                row
-                for chunk_rows in backend.map(
-                    kernels.transform_chunk, chunks, grain=1
-                )
-                for row in chunk_rows
-            ]
+            try:
+                rows = [
+                    row
+                    for chunk_rows in backend.map(
+                        kernels.transform_chunk, chunks, grain=1
+                    )
+                    for row in chunk_rows
+                ]
+            finally:
+                if shared is not None:
+                    shared.close()
         return TfIdfResult(
             matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
             vocabulary=vocabulary,

@@ -300,6 +300,7 @@ class WordCountStep:
         prefetching reader keeps the pool busy while later files are
         still in flight.
         """
+        backend.ipc.set_phase(PHASE_INPUT_WC)
         backend.configure(kernels.init_wordcount_worker, (self.tokenizer,))
         try:
             n_hint = len(texts)
@@ -324,7 +325,9 @@ class WordCountStep:
             if chunk:
                 yield chunk
 
-        parts = backend.map_stream(kernels.count_chunk, chunked())
+        # Items are already grain-sized chunks — grain=1 stops the process
+        # backend's stream micro-batching from batching them again.
+        parts = backend.map_stream(kernels.count_chunk, chunked(), grain=1)
 
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []

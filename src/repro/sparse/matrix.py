@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import OperatorError
 from repro.sparse.vector import SparseVector
 
@@ -17,7 +19,13 @@ __all__ = ["CsrMatrix"]
 
 
 class CsrMatrix:
-    """Row-major sparse matrix: ``indptr``, ``indices``, ``data``."""
+    """Row-major sparse matrix: ``indptr``, ``indices``, ``data``.
+
+    The three backing arrays may be plain Python lists (the default the
+    operators build) or numpy arrays — including zero-copy views over a
+    shared-memory buffer (:meth:`from_arrays`). ``row()`` slices whichever
+    backing is present, so both representations serve the same API.
+    """
 
     def __init__(
         self,
@@ -26,7 +34,7 @@ class CsrMatrix:
         data: list[float],
         n_cols: int,
     ) -> None:
-        if not indptr or indptr[0] != 0:
+        if len(indptr) == 0 or indptr[0] != 0:
             raise OperatorError("indptr must start with 0")
         if indptr[-1] != len(indices) or len(indices) != len(data):
             raise OperatorError("indptr/indices/data lengths are inconsistent")
@@ -59,6 +67,35 @@ class CsrMatrix:
                 f"row index {max_index} out of range for n_cols={n_cols}"
             )
         return cls(indptr, indices, data, n_cols)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        n_cols: int,
+    ) -> "CsrMatrix":
+        """Wrap existing flat arrays without copying them.
+
+        The arrays are stored as-is — typically views over a
+        shared-memory segment a worker attached to, which is what lets a
+        process-backend worker see the whole matrix at zero IPC cost.
+        """
+        return cls(indptr, indices, data, n_cols)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The CSR triple as flat numpy arrays ``(indptr, indices, data)``.
+
+        List-backed matrices are converted (one copy); array-backed ones
+        pass through. Dtypes are fixed (int64/intp/float64) so the triple
+        can be placed into a shared segment and resolved on any worker.
+        """
+        return (
+            np.ascontiguousarray(self.indptr, dtype=np.int64),
+            np.ascontiguousarray(self.indices, dtype=np.intp),
+            np.ascontiguousarray(self.data, dtype=np.float64),
+        )
 
     @property
     def n_rows(self) -> int:

@@ -1,0 +1,43 @@
+"""Repo-wide fixtures: shared-memory segments must never leak.
+
+Every segment the shm plane creates is named ``repro_shm_*`` (see
+:data:`repro.exec.shm.SEGMENT_PREFIX`), so on platforms with a visible
+``/dev/shm`` a leak is directly observable as a leftover file. The
+autouse fixture below snapshots the directory around every test and
+fails any test that leaves a segment behind — close, double-close and
+worker-crash paths all have to clean up to stay green. (On hosts
+without ``/dev/shm`` the check degrades to a no-op; the promoted
+resource_tracker warnings in ``pyproject.toml`` still cover leaks.)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec.shm import SEGMENT_PREFIX
+
+_SHM_DIR = "/dev/shm"
+
+
+def _segments() -> set[str]:
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return set()
+    return {name for name in names if name.startswith(SEGMENT_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def no_shm_segment_leaks():
+    if not os.path.isdir(_SHM_DIR):
+        yield
+        return
+    before = _segments()
+    yield
+    leaked = _segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory segment(s): {sorted(leaked)} — every "
+        f"ShmArrays/ShmBroadcast must be unlinked via close()"
+    )

@@ -236,6 +236,34 @@ class TestProcessBackend:
                 x * x for x in range(20)
             ]
 
+    def test_map_stream_micro_batches_submissions(self):
+        # The regression this guards: one pickled task per *item* (100
+        # round trips for 100 items). With micro-batching, 2 workers get
+        # a default grain of auto_grain(256, 2) = 16 → ceil(100/16) = 7
+        # submitted tasks, while results stay ordered and complete.
+        with ProcessBackend(2) as backend:
+            assert backend.map_stream(_square, iter(range(100))) == [
+                x * x for x in range(100)
+            ]
+            assert backend.ipc.total().tasks == 7
+
+    def test_map_stream_explicit_grain_controls_task_count(self):
+        with ProcessBackend(2) as backend:
+            assert backend.map_stream(_square, iter(range(10)), grain=1) == [
+                x * x for x in range(10)
+            ]
+            assert backend.ipc.total().tasks == 10
+            with pytest.raises(ConfigurationError):
+                backend.map_stream(_square, iter(range(4)), grain=0)
+
+    def test_map_accounts_pickled_bytes(self):
+        with ProcessBackend(2) as backend:
+            backend.map(_square, range(20), grain=5)
+            total = backend.ipc.total()
+            assert total.tasks == 4
+            assert total.task_pickle_bytes > 0
+            assert total.result_pickle_bytes > 0
+
 
 class TestMakeBackend:
     def test_choices(self):

@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.pipeline import run_pipeline
 from repro.exec.process import make_backend
+from repro.exec.shm import shm_available
 from repro.ops.kmeans import KMeansOperator
 from repro.ops.tfidf import TfIdfOperator
 from repro.ops.wordcount import WordCountStep
@@ -162,6 +163,62 @@ class TestPipelineEquivalence:
                 "transform",
                 "kmeans",
             }
+
+
+class TestShmEquivalence:
+    """The shared-memory plane changes IPC volume, never output bits."""
+
+    def _run(self, corpus, backend_name, workers, shm):
+        backend = make_backend(backend_name, workers, shm=shm)
+        try:
+            return run_pipeline(
+                corpus,
+                backend=backend,
+                tfidf=TfIdfOperator(),
+                kmeans=KMeansOperator(max_iters=3),
+            )
+        finally:
+            backend.close()
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_process_pipeline_identical_shm_on_and_off(self, corpus, workers):
+        off = self._run(corpus, "processes", workers, shm=False)
+        on = self._run(corpus, "processes", workers, shm=True)
+        assert _matrix_entries(on.tfidf) == _matrix_entries(off.tfidf)
+        assert on.tfidf.vocabulary == off.tfidf.vocabulary
+        assert on.tfidf.idf == off.tfidf.idf
+        assert on.kmeans.assignments == off.kmeans.assignments
+        assert (on.kmeans.centroids == off.kmeans.centroids).all()
+        assert on.kmeans.inertia_history == off.kmeans.inertia_history
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_shm_matches_inline_reference(self, corpus):
+        inline = run_pipeline(
+            corpus, tfidf=TfIdfOperator(), kmeans=KMeansOperator(max_iters=3)
+        )
+        on = self._run(corpus, "processes", 2, shm=True)
+        assert _matrix_entries(on.tfidf) == _matrix_entries(inline.tfidf)
+        assert on.kmeans.assignments == inline.kmeans.assignments
+
+    def test_thread_backend_flag_is_noop(self, corpus):
+        # The flag only affects the process backend; threads share an
+        # address space and must produce identical output regardless.
+        off = self._run(corpus, "threads", 2, shm=False)
+        on = self._run(corpus, "threads", 2, shm=True)
+        assert _matrix_entries(on.tfidf) == _matrix_entries(off.tfidf)
+        assert on.kmeans.assignments == off.kmeans.assignments
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_shm_pipeline_reports_segment_accounting(self, corpus):
+        on = self._run(corpus, "processes", 2, shm=True)
+        off = self._run(corpus, "processes", 2, shm=False)
+        assert on.ipc["total"]["segments"] >= 2  # matrix + broadcast + vocab
+        assert off.ipc["total"]["segments"] == 0
+        assert (
+            on.ipc["phases"]["kmeans"]["task_pickle_bytes"]
+            < off.ipc["phases"]["kmeans"]["task_pickle_bytes"]
+        )
 
 
 @pytest.mark.skipif(

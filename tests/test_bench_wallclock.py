@@ -12,8 +12,14 @@ from types import SimpleNamespace
 import pytest
 
 import repro.bench.wallclock as wallclock_module
-from repro.bench.wallclock import _best_of, bench_read_sweep, bench_wallclock
+from repro.bench.wallclock import (
+    _best_of,
+    bench_ipc_sweep,
+    bench_read_sweep,
+    bench_wallclock,
+)
 from repro.errors import BenchmarkError
+from repro.exec.shm import shm_available
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -38,6 +44,7 @@ class TestBenchWallclock:
             assert run["total_s"] > 0
             assert run["speedup_vs_sequential"] > 0
             assert run["output_identical"] is True
+            assert "ipc" in run  # per-run transport accounting
 
     def test_single_backend_sweep(self):
         record = bench_wallclock(
@@ -105,6 +112,40 @@ class TestBenchReadSweep:
             assert run["total_s"] > 0.0
         # The corpus directory was caller-provided, so it is kept.
         assert (tmp_path / "corpus").is_dir()
+
+
+class TestBenchIpcSweep:
+    def test_record_structure_and_counters(self):
+        record = bench_ipc_sweep(
+            scale=0.002, workers=(2,), repeats=1, kmeans_iters=2
+        )
+        assert record["benchmark"] == "wallclock-ipc"
+        assert record["n_docs"] > 0
+        assert record["shm_available"] == shm_available()
+
+        runs = record["runs"]
+        expected_modes = [False, True] if shm_available() else [False]
+        assert [run["shm"] for run in runs] == expected_modes
+        for run in runs:
+            assert run["workers"] == 2
+            assert run["total_s"] > 0
+            assert run["output_identical"] is True
+            assert run["kmeans_task_bytes_per_iter"] > 0
+            ipc = run["ipc"]
+            assert set(ipc) == {"phases", "total"}
+            assert ipc["total"]["tasks"] > 0
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_shm_run_moves_bytes_off_the_task_path(self):
+        record = bench_ipc_sweep(
+            scale=0.002, workers=(2,), repeats=1, kmeans_iters=2
+        )
+        by_mode = {run["shm"]: run for run in record["runs"]}
+        pickled = by_mode[False]["kmeans_task_bytes_per_iter"]
+        shm = by_mode[True]["kmeans_task_bytes_per_iter"]
+        assert shm < pickled / 100
+        assert by_mode[True]["ipc"]["total"]["segments"] > 0
+        assert by_mode[False]["ipc"]["total"]["segments"] == 0
 
 
 class TestBenchWallclockTool:
@@ -175,3 +216,33 @@ class TestBenchWallclockTool:
         for run in read_record["runs"]:
             assert run["output_identical"] is True
             assert "read" in run["phases"]
+
+    def test_ipc_mode_tiny_smoke(self, tmp_path):
+        out = tmp_path / "BENCH_wallclock.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(REPO, "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(REPO, "tools", "bench_wallclock.py"),
+                "--mode",
+                "ipc",
+                "--tiny",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "wallclock-ipc"
+        for run in record["runs"]:
+            assert run["output_identical"] is True
+            assert run["ipc"]["total"]["tasks"] > 0

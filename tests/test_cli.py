@@ -41,6 +41,18 @@ class TestParser:
                                           "--output", "y"])
         assert args.backend == "sequential"
 
+    def test_shm_flag(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--input", "x", "--backend", "processes", "--shm"]
+        )
+        assert args.shm is True
+        args = build_parser().parse_args(
+            ["pipeline", "--input", "x", "--no-shm"]
+        )
+        assert args.shm is False
+        args = build_parser().parse_args(["pipeline", "--input", "x"])
+        assert args.shm is None  # auto-detect
+
     def test_invalid_workers_reports_clean_error(self, corpus_dir, capsys):
         assert main(["pipeline", "--input", corpus_dir, "--backend",
                      "processes", "--workers", "0"]) == 2
@@ -123,6 +135,29 @@ class TestRealPipeline:
                          "--max-iters", "3"]) == 0
             outputs[backend] = open(path).read()
         assert outputs["sequential"] == outputs["processes"]
+
+    def test_pipeline_shm_modes_agree_and_report_ipc(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        from repro.exec.shm import shm_available
+
+        outputs = {}
+        ipc_lines = {}
+        for flag in ("--no-shm",) + (("--shm",) if shm_available() else ()):
+            path = str(tmp_path / f"shm{flag}.txt")
+            assert main(["pipeline", "--input", corpus_dir, "--output", path,
+                         "--backend", "processes", "--workers", "2",
+                         "--max-iters", "3", flag]) == 0
+            outputs[flag] = open(path).read()
+            out = capsys.readouterr().out
+            assert "IPC:" in out
+            ipc_lines[flag] = next(
+                line for line in out.splitlines() if line.startswith("IPC:")
+            )
+        if shm_available():
+            assert outputs["--no-shm"] == outputs["--shm"]
+            assert "0 shared segment(s)" in ipc_lines["--no-shm"]
+            assert "0 shared segment(s)" not in ipc_lines["--shm"]
 
     def test_pipeline_parallel_read_matches_serial(self, corpus_dir, tmp_path):
         outputs = {}

@@ -9,6 +9,10 @@ trajectory:
 * ``--mode read`` writes the corpus to an on-disk directory and sweeps
   **read-worker counts** through the bounded-prefetch parallel reader —
   the paper's §3.2 parallel-input optimization, measured end to end.
+* ``--mode ipc`` sweeps the process backend's shared-memory plane on/off
+  × worker counts, recording per-phase IPC accounting (bytes pickled,
+  segments, broadcasts) — the counters that show the zero-copy win even
+  where wall-clock deltas are noise.
 
 Usage::
 
@@ -16,6 +20,7 @@ Usage::
     PYTHONPATH=src python tools/bench_wallclock.py --tiny          # CI smoke
     PYTHONPATH=src python tools/bench_wallclock.py --mode read \
         --read-workers 1 2 4 8 --repeats 3 --append
+    PYTHONPATH=src python tools/bench_wallclock.py --mode ipc --append
     PYTHONPATH=src python tools/bench_wallclock.py --scale 0.05 \
         --workers 1 2 4 8 --repeats 3 --out BENCH_wallclock.json
 
@@ -39,6 +44,7 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.bench.wallclock import (  # noqa: E402
     DEFAULT_READ_WORKER_SWEEP,
     DEFAULT_WORKER_SWEEP,
+    bench_ipc_sweep,
     bench_read_sweep,
     bench_wallclock,
 )
@@ -59,10 +65,11 @@ def _write(out: str, record: dict, append: bool) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["backends", "read"],
+    parser.add_argument("--mode", choices=["backends", "read", "ipc"],
                         default="backends",
-                        help="sweep compute backends, or read-worker counts "
-                        "over an on-disk corpus (paper §3.2)")
+                        help="sweep compute backends, read-worker counts "
+                        "over an on-disk corpus (paper §3.2), or the "
+                        "shared-memory plane on/off with IPC accounting")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -105,7 +112,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.compute_workers is None:
             args.compute_workers = 2
 
-    if args.mode == "read":
+    if args.mode == "ipc":
+        record = bench_ipc_sweep(
+            profile=args.profile,
+            scale=args.scale,
+            workers=args.workers,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+        )
+    elif args.mode == "read":
         record = bench_read_sweep(
             profile=args.profile,
             scale=args.scale,
@@ -133,7 +149,18 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "read":
+    if args.mode == "ipc":
+        header = (f"{'shm':>5} {'workers':>7} {'total_s':>9} "
+                  f"{'task_MB':>9} {'kmeans_B/iter':>13} identical")
+        print(header)
+        for run in record["runs"]:
+            task_mb = run["ipc"]["total"]["task_pickle_bytes"] / 1e6
+            print(f"{('on' if run['shm'] else 'off'):>5} "
+                  f"{run['workers']:>7} {run['total_s']:>9.3f} "
+                  f"{task_mb:>9.2f} "
+                  f"{run['kmeans_task_bytes_per_iter']:>13.0f} "
+                  f"{'yes' if run['output_identical'] else 'NO'}")
+    elif args.mode == "read":
         print(f"compute: {record['backend']} x {record['workers']}")
         header = (f"{'read_workers':>12} {'total_s':>9} {'read_s':>8} "
                   f"{'speedup':>8} identical")
