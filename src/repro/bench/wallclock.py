@@ -112,6 +112,22 @@ def _host() -> dict:
     }
 
 
+def _trace_fields(result: RealRunResult) -> dict:
+    """Per-phase utilization/straggler summary for a benchmark record."""
+    if result.trace is None:
+        return {}
+    summary = result.trace.summary_dict()
+    return {
+        "trace": summary,
+        "utilization": {
+            phase: stats["utilization"] for phase, stats in summary.items()
+        },
+        "straggler_ratio": {
+            phase: stats["straggler_ratio"] for phase, stats in summary.items()
+        },
+    }
+
+
 def bench_wallclock(
     profile: str = "mix",
     scale: float = 0.01,
@@ -120,6 +136,7 @@ def bench_wallclock(
     repeats: int = 1,
     seed: int = 0,
     kmeans_iters: int = 5,
+    trace: bool = False,
 ) -> dict:
     """Sweep backends × workers; return the benchmark record.
 
@@ -127,6 +144,10 @@ def bench_wallclock(
     run (phases, output and all from that one run). The sequential
     backend anchors the sweep: it runs once (worker count is meaningless
     for it) and every other configuration reports a speedup against it.
+    ``trace=True`` runs every configuration with span tracing and embeds
+    the per-phase utilization/straggler summary in each record (the
+    timings then include the small tracing overhead — keep it off when
+    the point is the cleanest possible wall clock).
     """
     if profile not in _PROFILES:
         raise ValueError(f"unknown profile {profile!r}")
@@ -148,6 +169,7 @@ def bench_wallclock(
                         backend=backend,
                         tfidf=TfIdfOperator(),
                         kmeans=KMeansOperator(max_iters=kmeans_iters),
+                        trace=trace,
                     )
                 finally:
                     backend.close()
@@ -168,6 +190,7 @@ def bench_wallclock(
                         result is reference or _matrices_equal(result, reference)
                     ),
                     "ipc": result.ipc,
+                    **_trace_fields(result),
                 }
             )
 
@@ -296,7 +319,11 @@ def bench_ipc_sweep(
     ``kmeans_task_bytes_per_iter``, the number the tentpole targets:
     with shm it is a few hundred token bytes regardless of block count,
     without it one dense K×V centroid copy per block per iteration.
-    Output must stay bit-identical shm on/off.
+    Runs are span-traced, so each record also carries the per-phase
+    ``utilization`` / ``straggler_ratio`` summary — the IPC byte counters
+    say what crossed the process boundary, the trace says whether the
+    workers were actually busy. Output must stay bit-identical shm
+    on/off (and traced runs use the same code path as untraced ones).
     """
     if profile not in _PROFILES:
         raise ValueError(f"unknown profile {profile!r}")
@@ -318,6 +345,7 @@ def bench_ipc_sweep(
                         backend=backend,
                         tfidf=TfIdfOperator(),
                         kmeans=KMeansOperator(max_iters=kmeans_iters),
+                        trace=True,
                     )
                 finally:
                     backend.close()
@@ -340,6 +368,7 @@ def bench_ipc_sweep(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
+                    **_trace_fields(result),
                 }
             )
 

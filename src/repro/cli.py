@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 from repro.core.planner import WorkflowPlanner
 from repro.core.workflow import build_tfidf_kmeans_workflow
 from repro.exec.machine import paper_node
-from repro.exec.process import BACKEND_CHOICES, make_backend
+from repro.exec.process import BACKEND_CHOICES, _BACKEND_ALIASES, make_backend
 from repro.exec.scheduler import SimScheduler
 from repro.io.arff import read_sparse_arff, write_sparse_arff
 from repro.io.corpus_io import load_corpus, store_corpus
@@ -47,7 +47,9 @@ _PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
 def _add_backend_args(parser: argparse.ArgumentParser) -> None:
     """Real-execution backend selection, shared by tfidf/kmeans/pipeline."""
     parser.add_argument(
-        "--backend", choices=list(BACKEND_CHOICES), default="sequential",
+        "--backend",
+        choices=list(BACKEND_CHOICES) + sorted(_BACKEND_ALIASES),
+        default="sequential",
         help="real execution backend (processes = one per core)",
     )
     parser.add_argument(
@@ -145,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--max-iters", type=int, default=10)
     pipe.add_argument("--seed", type=int, default=0)
     pipe.add_argument("--init", choices=["spread", "kmeans++"], default="spread")
+    pipe.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record per-task spans and write Chrome trace-event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
     _add_backend_args(pipe)
     _add_read_args(pipe)
 
@@ -271,7 +278,13 @@ def _cmd_pipeline(args) -> int:
         init=args.init,
     )
     with _make_cli_backend(args) as backend:
-        result = run_pipeline(stream, backend=backend, tfidf=tfidf, kmeans=kmeans)
+        result = run_pipeline(
+            stream,
+            backend=backend,
+            tfidf=tfidf,
+            kmeans=kmeans,
+            trace=args.trace is not None,
+        )
 
     if args.arff is not None:
         document = write_sparse_arff(
@@ -300,6 +313,16 @@ def _cmd_pipeline(args) -> int:
             f"({total['segment_bytes'] / 1e6:.2f} MB), "
             f"{total['broadcasts']} broadcast(s)"
         )
+    if result.trace is not None:
+        result.trace.write_chrome_trace(args.trace)
+        summary = result.trace.phase_summary()
+        line = ", ".join(
+            f"{phase} {stats.utilization:.0%}/{stats.n_workers}w"
+            f" (straggler x{stats.straggler_ratio:.1f})"
+            for phase, stats in summary.items()
+        )
+        print(f"trace: {len(result.trace.spans)} spans -> {args.trace}; "
+              f"utilization: {line}")
     print(f"cluster sizes: {result.kmeans.cluster_sizes()} "
           f"({result.kmeans.n_iters} iterations, "
           f"converged={result.kmeans.converged})")

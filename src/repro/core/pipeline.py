@@ -7,6 +7,13 @@ memory, no ARFF round trip — on an actual
 :class:`~repro.exec.inline.ExecutionBackend`, timing each phase with the
 host's wall clock. It is the engine behind ``python -m repro pipeline``
 and the wall-clock benchmark (:mod:`repro.bench.wallclock`).
+
+With ``trace=True`` the backend's :class:`~repro.exec.spans.SpanRecorder`
+is armed for the run and the result carries a
+:class:`~repro.exec.spans.RunTrace`: one span per executed task, on every
+worker, from which per-phase utilization, queue wait, and straggler ratio
+are derived. Tracing never changes the computation — outputs are
+bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.exec.inline import ExecutionBackend
+from repro.exec.spans import RunTrace
 from repro.io.parallel_read import DocumentStream
 from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator, TfIdfResult
@@ -41,6 +50,9 @@ class RealRunResult:
     #: IPC-accounting snapshot of the run (``{"phases": ..., "total": ...}``,
     #: see :class:`repro.exec.shm.IpcStats`); ``None`` for the inline path.
     ipc: dict | None = None
+    #: Per-task span trace (:class:`repro.exec.spans.RunTrace`) when the run
+    #: was traced; ``None`` otherwise.
+    trace: RunTrace | None = None
 
     @property
     def total_s(self) -> float:
@@ -52,6 +64,8 @@ def run_pipeline(
     backend: ExecutionBackend | None = None,
     tfidf: TfIdfOperator | None = None,
     kmeans: KMeansOperator | None = None,
+    *,
+    trace: bool = False,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -64,31 +78,61 @@ def run_pipeline(
     end-to-end wall time. ``backend=None`` runs the legacy inline path
     (the reference for the bit-identical-output guarantee). Operators
     default to the paper's configuration (``map`` dictionaries, K=8).
+
+    ``trace=True`` records one span per executed task (including file
+    reads for streamed input) and attaches the resulting
+    :class:`~repro.exec.spans.RunTrace` to the result; it requires a
+    backend. If a phase raises mid-run with streamed input, the stream's
+    reader pool is torn down before the error propagates — no reader
+    threads are leaked.
     """
+    if trace and backend is None:
+        raise ConfigurationError("tracing requires an execution backend")
     tfidf = tfidf or TfIdfOperator()
     kmeans = kmeans or KMeansOperator()
     seconds: dict[str, float] = {}
     streamed = isinstance(corpus, DocumentStream)
     if backend is not None:
         backend.ipc.reset()  # this run's bill only
+        if trace:
+            backend.spans.begin_run()
+            if streamed:
+                corpus.spans = backend.spans
 
-    t0 = time.perf_counter()
-    wc = tfidf.wordcount.run(corpus, backend=backend)
-    t1 = time.perf_counter()
-    if streamed:
-        read_s = corpus.wait_seconds
-        seconds[PHASE_READ] = read_s
-        seconds[PHASE_INPUT_WC] = max(0.0, (t1 - t0) - read_s)
-    else:
-        seconds[PHASE_INPUT_WC] = t1 - t0
+    try:
+        t0 = time.perf_counter()
+        wc = tfidf.wordcount.run(corpus, backend=backend)
+        t1 = time.perf_counter()
+        if streamed:
+            read_s = corpus.wait_seconds
+            seconds[PHASE_READ] = read_s
+            seconds[PHASE_INPUT_WC] = max(0.0, (t1 - t0) - read_s)
+        else:
+            seconds[PHASE_INPUT_WC] = t1 - t0
 
-    scores = tfidf.transform_wordcount(wc, backend=backend)
-    t2 = time.perf_counter()
-    seconds[PHASE_TRANSFORM] = t2 - t1
+        scores = tfidf.transform_wordcount(wc, backend=backend)
+        t2 = time.perf_counter()
+        seconds[PHASE_TRANSFORM] = t2 - t1
 
-    clusters = kmeans.fit(scores.matrix, backend=backend)
-    t3 = time.perf_counter()
-    seconds[PHASE_KMEANS] = t3 - t2
+        clusters = kmeans.fit(scores.matrix, backend=backend)
+        t3 = time.perf_counter()
+        seconds[PHASE_KMEANS] = t3 - t2
+    finally:
+        # A phase that raised mid-run must not leak the stream's reader
+        # threads: closing is idempotent and a no-op after clean exhaustion.
+        if streamed:
+            corpus.close()
+        if trace:
+            backend.spans.end_run()
+
+    run_trace: RunTrace | None = None
+    if trace:
+        run_trace = RunTrace.from_recorder(
+            backend.spans,
+            phase_wall_s=dict(seconds),
+            backend_name=backend.name,
+            workers=backend.workers,
+        )
 
     return RealRunResult(
         tfidf=scores,
@@ -96,4 +140,5 @@ def run_pipeline(
         phase_seconds=seconds,
         backend_name=backend.name if backend is not None else "inline",
         ipc=backend.ipc.snapshot() if backend is not None else None,
+        trace=run_trace,
     )

@@ -10,6 +10,7 @@ from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
 from repro.exec.machine import MachineSpec, fast_ssd_node, paper_node
 from repro.exec.process import BACKEND_CHOICES, ProcessBackend, make_backend
 from repro.exec.shm import IpcStats, shm_available
+from repro.exec.spans import RunTrace, SpanRecorder, TaskSpan
 from repro.exec.metrics import (
     Timeline,
     WorkSpan,
@@ -45,4 +46,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "IpcStats",
     "shm_available",
+    "RunTrace",
+    "SpanRecorder",
+    "TaskSpan",
 ]

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.errors import ConfigurationError
 from repro.exec.parallel import auto_grain
 from repro.exec.shm import IpcStats, LocalArrays, LocalBroadcast
+from repro.exec.spans import SpanRecorder
 
 __all__ = [
     "ExecutionBackend",
@@ -110,6 +111,23 @@ class ExecutionBackend:
         #: In-process backends keep it too — operators charge phases
         #: uniformly, and the zero counts are themselves the measurement.
         self.ipc = IpcStats()
+        #: Per-task span capture (see :class:`repro.exec.spans.SpanRecorder`);
+        #: disarmed by default, armed by ``spans.begin_run()`` (which
+        #: ``run_pipeline(trace=True)`` does for you).
+        self.spans = SpanRecorder()
+
+    def begin_phase(self, name: str) -> None:
+        """Charge subsequent tasks/IPC/spans to the named pipeline phase."""
+        self.ipc.set_phase(name)
+        self.spans.set_phase(name)
+
+    def _record_inline_span(
+        self, t_start: float, n_items: int, phase: str | None = None
+    ) -> None:
+        """Span for work just executed inline on the calling thread."""
+        self.spans.record(
+            t_start, self.spans.now(), n_items=n_items, phase=phase
+        )
 
     # -- shared-array plane -------------------------------------------------------
 
@@ -178,7 +196,14 @@ class ExecutionBackend:
         whose items are already chunk-sized pass ``grain=1``; the process
         backend micro-batches by default to amortize per-task pickling.
         """
-        return [fn(item) for item in items]
+        if not self.spans.enabled:
+            return [fn(item) for item in items]
+        results = []
+        for item in items:
+            t_start = self.spans.now()
+            results.append(fn(item))
+            self._record_inline_span(t_start, n_items=1)
+        return results
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
@@ -196,7 +221,17 @@ class SequentialBackend(ExecutionBackend):
     name = "sequential"
 
     def map(self, fn, items, *, grain=None):
-        return [fn(item) for item in _as_list(items)]
+        items = _as_list(items)
+        if not self.spans.enabled:
+            return [fn(item) for item in items]
+        # Operators pre-chunk their items (one chunk/block per map item),
+        # so a span per item is a span per logical task here too.
+        results = []
+        for item in items:
+            t_start = self.spans.now()
+            results.append(fn(item))
+            self._record_inline_span(t_start, n_items=1)
+        return results
 
 
 class ThreadBackend(ExecutionBackend):
@@ -221,27 +256,73 @@ class ThreadBackend(ExecutionBackend):
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _traced_chunk(self, fn, chunk, task_id, phase, t_submit):
+        """Chunk trampoline that records its span on the executing thread."""
+        t_start = self.spans.now()
+        results = apply_chunk(fn, chunk)
+        self.spans.record(
+            t_start,
+            self.spans.now(),
+            task_id=task_id,
+            phase=phase,
+            n_items=len(chunk),
+            queue_s=t_start - t_submit,
+        )
+        return results
+
+    def _submit_chunk(self, pool, fn, chunk):
+        if not self.spans.enabled:
+            return pool.submit(apply_chunk, fn, chunk)
+        phase = self.spans.phase
+        return pool.submit(
+            self._traced_chunk,
+            fn,
+            chunk,
+            self.spans.next_task_id(phase),
+            phase,
+            self.spans.now(),
+        )
+
     def map(self, fn, items, *, grain=None):
         items = _as_list(items)
         if len(items) <= 1 or self.workers == 1:
-            return [fn(item) for item in items]
+            if not self.spans.enabled:
+                return [fn(item) for item in items]
+            results = []
+            for item in items:
+                t_start = self.spans.now()
+                results.append(fn(item))
+                self._record_inline_span(t_start, n_items=1)
+            return results
         if grain is None:
             grain = auto_grain(len(items), self.workers)
         if grain < 1:
             raise ConfigurationError(f"grain must be >= 1, got {grain}")
         pool = self._ensure_pool()
         futures = [
-            pool.submit(apply_chunk, fn, items[start : start + grain])
+            self._submit_chunk(pool, fn, items[start : start + grain])
             for start in range(0, len(items), grain)
         ]
         return gather_ordered(futures)
 
     def map_stream(self, fn, items, *, grain=None):
         if self.workers == 1:
-            return [fn(item) for item in items]
-        # Threads pay no pickle tax, so per-item submission is fine; the
-        # grain knob only matters for the process backend.
-        return submit_stream(self._ensure_pool(), fn, items)
+            return super().map_stream(fn, items, grain=grain)
+        if not self.spans.enabled:
+            # Threads pay no pickle tax, so per-item submission is fine;
+            # the grain knob only matters for the process backend.
+            return submit_stream(self._ensure_pool(), fn, items)
+        pool = self._ensure_pool()
+        futures = []
+        try:
+            for item in items:
+                futures.append(self._submit_chunk(pool, fn, [item]))
+        except BaseException:
+            # The *producer* failed mid-stream: drop what was queued.
+            for future in futures:
+                future.cancel()
+            raise
+        return gather_ordered(futures)
 
     def close(self) -> None:
         pool, self._pool = self._pool, None

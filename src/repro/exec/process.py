@@ -44,6 +44,7 @@ Design points (see ``docs/backends.md`` for the cost model):
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -59,11 +60,16 @@ from repro.exec.inline import (
 )
 from repro.exec.parallel import auto_grain
 from repro.exec.shm import ShmArrays, ShmBroadcast, ShmPlane, shm_available
+from repro.exec.spans import install_worker_epoch, worker_now
 
 __all__ = ["ProcessBackend", "make_backend", "BACKEND_CHOICES", "default_start_method"]
 
 #: Names accepted by :func:`make_backend` (and the CLI ``--backend`` flag).
 BACKEND_CHOICES = ("sequential", "threads", "processes")
+
+#: Singular spellings normalize to the canonical names, so
+#: ``--backend process`` does what it obviously means.
+_BACKEND_ALIASES = {"process": "processes", "thread": "threads", "inline": "sequential"}
 
 #: ``map_stream`` cannot see the producer's length up front; its default
 #: micro-batch grain assumes a window of this many items.
@@ -94,6 +100,44 @@ def run_pickled_chunk(payload: bytes) -> bytes:
     return pickle.dumps(apply_chunk(fn, chunk))
 
 
+def traced_worker_init(epoch: float, initializer, initargs: tuple) -> None:
+    """Pool initializer when tracing: install the epoch, then run the real one.
+
+    The parent's monotonic-clock epoch rides along with the per-phase
+    state shipment, so every worker re-bases its local clock onto the
+    parent's timeline before the first task arrives — no extra IPC.
+    """
+    install_worker_epoch(epoch)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def run_pickled_chunk_traced(payload: bytes) -> tuple[bytes, bytes]:
+    """Traced twin of :func:`run_pickled_chunk`: same single round trip.
+
+    The span — phase, task id, pid, re-based start/end, item count and
+    exact payload bytes each way — is pickled *separately* from the
+    results and piggy-backed on the same return value, so the parent can
+    bill result bytes and span bytes to different counters. The results
+    pickle is byte-for-byte the one the untraced trampoline produces.
+    """
+    t_start = worker_now()
+    fn, chunk, task_id, phase, t_submit = pickle.loads(payload)
+    results_blob = pickle.dumps(apply_chunk(fn, chunk))
+    span = (
+        phase,
+        task_id,
+        os.getpid(),
+        t_start,
+        worker_now(),
+        len(chunk),
+        len(payload),
+        len(results_blob),
+        max(0.0, t_start - t_submit),
+    )
+    return results_blob, pickle.dumps(span)
+
+
 class ProcessBackend(ExecutionBackend):
     """Runs operator loops on a pool of worker processes."""
 
@@ -122,6 +166,13 @@ class ProcessBackend(ExecutionBackend):
         #: with; ``configure`` compares against it to avoid restarts when
         #: the same phase maps repeatedly.
         self._init: tuple[Callable[..., None], tuple] | None = None
+        #: Trace state (enabled, epoch) the current pool was built with;
+        #: arming/re-arming the recorder forces a recycle so every worker
+        #: receives the new epoch.
+        self._pool_trace: tuple[bool, float] = (False, 0.0)
+        #: ``"phase#task_id"`` of the most recently submitted task — the
+        #: context a :class:`BrokenProcessPool` error names.
+        self._last_task: str | None = None
 
     # -- shared-array plane -------------------------------------------------------
 
@@ -172,14 +223,27 @@ class ProcessBackend(ExecutionBackend):
         self.ipc.record_configure(shipped)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
+        trace_state = (
+            (True, self.spans.epoch) if self.spans.enabled else (False, 0.0)
+        )
+        if self._pool is not None and self._pool_trace != trace_state:
+            # Arming (or re-arming) the recorder changes the epoch every
+            # worker must re-base against: recycle the pool generation.
+            self._close_pool()
         if self._pool is None:
             initializer, initargs = self._init or (None, ())
+            if trace_state[0]:
+                initializer, initargs = (
+                    traced_worker_init,
+                    (self.spans.epoch, initializer, initargs),
+                )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context(self._start_method),
                 initializer=initializer,
                 initargs=initargs,
             )
+            self._pool_trace = trace_state
         return self._pool
 
     def _close_pool(self) -> None:
@@ -197,16 +261,34 @@ class ProcessBackend(ExecutionBackend):
         if self._plane is not None:
             self._plane.close()
 
-    def _broken(self) -> None:
+    def _broken(self, cause: BaseException | None = None) -> BrokenProcessPool:
         # A worker died (segfault, OOM kill): the pool is unusable and its
         # workers may never have detached. Full close — pool reset *and*
         # segment unlink — so a crash cannot leak /dev/shm entries; the
-        # next map starts a fresh generation.
+        # next map starts a fresh generation. The returned error names the
+        # phase and the last task handed to the pool, so a crash report
+        # says *where* in the pipeline the worker died.
         self.close()
+        context = f"worker pool crashed during phase {self.ipc.phase!r}"
+        if self._last_task is not None:
+            context += f" (last submitted task {self._last_task})"
+        detail = str(cause).strip() if cause is not None else ""
+        if detail:
+            context += f": {detail}"
+        return BrokenProcessPool(context)
 
     # -- execution ---------------------------------------------------------------
 
     def _submit_chunk(self, pool, fn, chunk):
+        phase = self.ipc.phase
+        task_id = self.ipc.phase_stats(phase).tasks
+        self._last_task = f"{phase}#{task_id}"
+        if self.spans.enabled:
+            payload = pickle.dumps(
+                (fn, chunk, task_id, phase, self.spans.now())
+            )
+            self.ipc.record_task(len(payload))
+            return pool.submit(run_pickled_chunk_traced, payload)
         payload = pickle.dumps((fn, chunk))
         self.ipc.record_task(len(payload))
         return pool.submit(run_pickled_chunk, payload)
@@ -214,6 +296,9 @@ class ProcessBackend(ExecutionBackend):
     def _gather_pickled(self, futures) -> list:
         """Collect trampoline futures in order, accounting result bytes.
 
+        Traced futures return ``(results_blob, span_blob)``; the span is
+        handed to the recorder and its bytes billed to the separate span
+        counter, so result-byte accounting is identical traced or not.
         If any chunk raises, every future that has not started yet is
         cancelled before the exception propagates — a poisoned chunk must
         not leave the chunks submitted after it running.
@@ -222,6 +307,10 @@ class ProcessBackend(ExecutionBackend):
         try:
             for future in futures:
                 blob = future.result()
+                if isinstance(blob, tuple):
+                    blob, span_blob = blob
+                    self.ipc.record_span_payload(len(span_blob))
+                    self.spans.record_worker_span(pickle.loads(span_blob))
                 self.ipc.record_result(len(blob))
                 results.extend(pickle.loads(blob))
         except BaseException:
@@ -245,9 +334,8 @@ class ProcessBackend(ExecutionBackend):
         ]
         try:
             return self._gather_pickled(futures)
-        except BrokenProcessPool:
-            self._broken()
-            raise
+        except BrokenProcessPool as exc:
+            raise self._broken(exc) from exc
 
     def map_stream(self, fn, items, *, grain=None):
         """Micro-batched streaming map: one pickled task per *batch*.
@@ -274,9 +362,8 @@ class ProcessBackend(ExecutionBackend):
             if batch:
                 futures.append(self._submit_chunk(pool, fn, batch))
             return self._gather_pickled(futures)
-        except BrokenProcessPool:
-            self._broken()
-            raise
+        except BrokenProcessPool as exc:
+            raise self._broken(exc) from exc
         except BaseException:
             for future in futures:
                 future.cancel()
@@ -290,8 +377,10 @@ def make_backend(
 
     ``shm`` applies to the process backend (``None`` = use it where
     available); the in-process backends share an address space, so for
-    them the flag is a no-op by construction.
+    them the flag is a no-op by construction. Singular spellings
+    (``process``, ``thread``) are accepted as aliases.
     """
+    name = _BACKEND_ALIASES.get(name, name)
     if name == "sequential":
         return SequentialBackend()
     if name == "threads":

@@ -119,6 +119,9 @@ class PhaseIpc:
     task_pickle_bytes: int = 0
     #: Bytes pickled in task results on the way back.
     result_pickle_bytes: int = 0
+    #: Bytes of span records piggy-backed on results when tracing is on
+    #: (kept out of ``result_pickle_bytes`` so benchmark bytes stay honest).
+    span_pickle_bytes: int = 0
     #: configure() calls that (re)shipped per-worker state.
     configures: int = 0
     #: Pickled size of the shipped initargs.
@@ -184,6 +187,9 @@ class IpcStats:
 
     def record_result(self, pickle_bytes: int) -> None:
         self._current().result_pickle_bytes += pickle_bytes
+
+    def record_span_payload(self, pickle_bytes: int) -> None:
+        self._current().span_pickle_bytes += pickle_bytes
 
     def record_configure(self, pickle_bytes: int) -> None:
         bucket = self._current()

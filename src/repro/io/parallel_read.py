@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError, StorageError
+from repro.exec.spans import SpanRecorder
 from repro.exec.task import TaskCost
 from repro.io.corpus_io import corpus_paths
 from repro.io.storage import Storage
@@ -47,6 +48,11 @@ __all__ = [
     "default_prefetch",
     "DEFAULT_PREFETCH_PER_WORKER",
 ]
+
+#: Span phase label for file reads (matches
+#: :data:`repro.core.pipeline.PHASE_READ`; defined here too so this
+#: module does not import the pipeline).
+_READ_PHASE = "read"
 
 #: Default in-flight files per reader thread. Deep enough that the window
 #: never drains while the consumer tokenizes one document, shallow enough
@@ -65,38 +71,63 @@ def read_paths(
     *,
     workers: int = 1,
     prefetch: int | None = None,
+    recorder: SpanRecorder | None = None,
 ) -> Iterator[tuple[str, str, TaskCost]]:
     """Yield ``(path, contents, cost)`` for every path, in input order.
 
     ``workers`` is the reader-thread count; ``workers=1`` reads inline with
     no pool (the serial baseline). ``prefetch`` bounds the number of files
     in flight — submitted to the pool but not yet delivered — and defaults
-    to :func:`default_prefetch`.
+    to :func:`default_prefetch`. When ``recorder`` is an armed
+    :class:`~repro.exec.spans.SpanRecorder`, each file read is captured as
+    a ``read``-phase span on the thread that performed it.
     """
     if workers < 1:
         raise ConfigurationError(f"read workers must be >= 1, got {workers}")
     paths = list(paths)
+    read = _reader(storage, recorder)
     if workers == 1:
         for path in paths:
-            text, cost = storage.read(path)
+            text, cost = read(path)
             yield path, text, cost
         return
     if prefetch is None:
         prefetch = default_prefetch(workers)
     if prefetch < 1:
         raise ConfigurationError(f"prefetch must be >= 1, got {prefetch}")
-    yield from _read_overlapped(storage, paths, workers, prefetch)
+    yield from _read_overlapped(read, paths, workers, prefetch)
+
+
+def _reader(storage: Storage, recorder: SpanRecorder | None):
+    """Plain ``storage.read``, or a wrapper that records one span per file."""
+    if recorder is None or not recorder.enabled:
+        return storage.read
+
+    def traced_read(path: str) -> tuple[str, TaskCost]:
+        t_start = recorder.now()
+        text, cost = storage.read(path)
+        recorder.record(
+            t_start,
+            recorder.now(),
+            phase=_READ_PHASE,
+            task_id=recorder.next_task_id(_READ_PHASE),
+            n_items=1,
+            out_bytes=len(text),
+        )
+        return text, cost
+
+    return traced_read
 
 
 def _read_overlapped(
-    storage: Storage, paths: list[str], workers: int, prefetch: int
+    read, paths: list[str], workers: int, prefetch: int
 ) -> Iterator[tuple[str, str, TaskCost]]:
     pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-read")
     pending: deque = deque()
     remaining = iter(paths)
     try:
         for path in itertools.islice(remaining, prefetch):
-            pending.append((path, pool.submit(storage.read, path)))
+            pending.append((path, pool.submit(read, path)))
         while pending:
             path, future = pending.popleft()
             try:
@@ -109,7 +140,7 @@ def _read_overlapped(
             # Top up *after* the yield: in-flight files never exceed the
             # prefetch window even while the consumer is busy.
             for nxt in itertools.islice(remaining, 1):
-                pending.append((nxt, pool.submit(storage.read, nxt)))
+                pending.append((nxt, pool.submit(read, nxt)))
     finally:
         # Abandoned mid-iteration (consumer error / early exit): drop the
         # window before waiting out whatever already started.
@@ -136,6 +167,12 @@ class DocumentStream:
         phase disappears behind compute.
     ``bytes_read`` / ``n_read``
         Text bytes and file count actually delivered.
+
+    Setting ``spans`` to an armed :class:`SpanRecorder` before iterating
+    captures one ``read``-phase span per file. :meth:`close` tears down the
+    reader pool early — safe to call at any point, including after normal
+    exhaustion — so a consumer that aborts mid-stream does not leak reader
+    threads.
     """
 
     def __init__(
@@ -158,7 +195,9 @@ class DocumentStream:
         self.wait_seconds = 0.0
         self.bytes_read = 0
         self.n_read = 0
+        self.spans: SpanRecorder | None = None
         self._consumed = False
+        self._active: Iterator[Document] | None = None
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -169,25 +208,49 @@ class DocumentStream:
                 f"document stream {self.name!r} is single-use; build a new one"
             )
         self._consumed = True
+        self._active = self._generate()
+        return self._active
+
+    def close(self) -> None:
+        """Tear down the reader pool if iteration was abandoned mid-stream.
+
+        Closing the active generator runs its ``finally`` clause, which
+        closes the underlying :func:`read_paths` generator and shuts the
+        reader pool down. Idempotent; a no-op when iteration never started
+        or already finished cleanly.
+        """
+        active, self._active = self._active, None
+        if active is not None:
+            active.close()  # type: ignore[attr-defined]
+
+    def _generate(self) -> Iterator[Document]:
         reads = self.storage.read_many(
-            self.paths, workers=self.workers, prefetch=self.prefetch
+            self.paths,
+            workers=self.workers,
+            prefetch=self.prefetch,
+            recorder=self.spans,
         )
-        doc_id = 0
-        while True:
-            blocked = time.perf_counter()
-            try:
-                path, text, cost = next(reads)
-            except StopIteration:
+        try:
+            doc_id = 0
+            while True:
+                blocked = time.perf_counter()
+                try:
+                    path, text, cost = next(reads)
+                except StopIteration:
+                    self.wait_seconds += time.perf_counter() - blocked
+                    return
                 self.wait_seconds += time.perf_counter() - blocked
-                return
-            self.wait_seconds += time.perf_counter() - blocked
-            self.total_cost.add(cost)
-            self.bytes_read += len(text)
-            self.n_read += 1
-            yield Document(
-                doc_id=doc_id, name=path.rsplit("/", 1)[-1], text=text
-            )
-            doc_id += 1
+                self.total_cost.add(cost)
+                self.bytes_read += len(text)
+                self.n_read += 1
+                yield Document(
+                    doc_id=doc_id, name=path.rsplit("/", 1)[-1], text=text
+                )
+                doc_id += 1
+        finally:
+            close = getattr(reads, "close", None)
+            if close is not None:
+                close()
 
 
 def corpus_stream(

@@ -62,17 +62,22 @@ class Storage(ABC):
         *,
         workers: int = 1,
         prefetch: int | None = None,
+        recorder=None,
     ) -> Iterator[tuple[str, str, "TaskCost"]]:
         """Read many files concurrently; yield ``(path, contents, cost)``.
 
         Results arrive strictly in input order with per-file costs still
         metered for the simulator; ``workers`` reader threads keep at most
-        ``prefetch`` files in flight (paper §3.2's parallel input). See
+        ``prefetch`` files in flight (paper §3.2's parallel input). An armed
+        :class:`~repro.exec.spans.SpanRecorder` passed as ``recorder``
+        captures one span per file. See
         :func:`repro.io.parallel_read.read_paths`.
         """
         from repro.io.parallel_read import read_paths
 
-        return read_paths(self, paths, workers=workers, prefetch=prefetch)
+        return read_paths(
+            self, paths, workers=workers, prefetch=prefetch, recorder=recorder
+        )
 
     def read_data(self, path: str) -> str:
         """Contents only, discarding the cost (functional use)."""

@@ -415,7 +415,7 @@ class KMeansOperator:
     def _fit_backend(
         self, matrix: CsrMatrix, backend: ExecutionBackend
     ) -> KMeansResult:
-        backend.ipc.set_phase(PHASE_KMEANS)
+        backend.begin_phase(PHASE_KMEANS)
         prepared = _Prepared(matrix)
         centroids = self._init_centroids(matrix, prepared)
         centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)

@@ -351,7 +351,7 @@ class TfIdfOperator:
                 for tf in wc.doc_tfs
             ]
         else:
-            backend.ipc.set_phase(PHASE_TRANSFORM)
+            backend.begin_phase(PHASE_TRANSFORM)
             shared = None
             if backend.uses_shm:
                 # Snapshot the vocabulary + idf into one shared segment:

@@ -300,7 +300,7 @@ class WordCountStep:
         prefetching reader keeps the pool busy while later files are
         still in flight.
         """
-        backend.ipc.set_phase(PHASE_INPUT_WC)
+        backend.begin_phase(PHASE_INPUT_WC)
         backend.configure(kernels.init_wordcount_worker, (self.tokenizer,))
         try:
             n_hint = len(texts)

@@ -147,6 +147,69 @@ class TestDocumentStream:
         assert len(stream) == 5
         assert [d.name for d in stream] == [f"doc-{i:03d}.txt" for i in range(5)]
 
+    def test_close_is_idempotent_and_safe_before_and_after_iteration(self):
+        storage = MemStorage()
+        stream = DocumentStream(storage, _populate(storage, n=4), workers=2)
+        stream.close()  # before iteration: nothing to tear down
+        docs = list(stream)
+        assert len(docs) == 4
+        stream.close()  # after clean exhaustion
+        stream.close()  # double-close
+
+    def test_close_mid_stream_releases_reader_threads(self):
+        storage = MemStorage()
+        stream = DocumentStream(storage, _populate(storage, n=20), workers=3)
+        iterator = iter(stream)
+        assert next(iterator).doc_id == 0
+        assert _reader_threads(), "reader pool should be running mid-stream"
+        stream.close()
+        _assert_no_reader_threads()
+
+    def test_records_read_spans_when_armed(self):
+        from repro.exec.spans import SpanRecorder
+
+        storage = MemStorage()
+        paths = _populate(storage, n=6)
+        recorder = SpanRecorder()
+        recorder.begin_run()
+        stream = DocumentStream(storage, paths, workers=2)
+        stream.spans = recorder
+        docs = list(stream)
+        spans = recorder.spans
+        assert len(spans) == 6
+        assert all(s.phase == "read" for s in spans)
+        assert sorted(s.task_id for s in spans) == list(range(6))
+        assert sum(s.out_bytes for s in spans) == sum(len(d.text) for d in docs)
+        # Reader threads are distinct lanes; serial input would be one.
+        assert recorder.n_lanes >= 1
+
+    def test_disarmed_recorder_records_nothing(self):
+        from repro.exec.spans import SpanRecorder
+
+        storage = MemStorage()
+        stream = DocumentStream(storage, _populate(storage, n=3), workers=2)
+        stream.spans = SpanRecorder()  # never armed
+        list(stream)
+        assert stream.spans.spans == []
+
+
+def _reader_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("repro-read") and t.is_alive()
+    ]
+
+
+def _assert_no_reader_threads(timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _reader_threads():
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"reader threads leaked: {[t.name for t in _reader_threads()]}"
+    )
+
 
 class TestPipelineEquivalence:
     """Streamed input must be bit-identical to the materialized baseline."""
@@ -190,3 +253,43 @@ class TestPipelineEquivalence:
         assert result.phase_seconds[PHASE_READ] >= 0.0
         # A materialized corpus has no read phase (legacy accounting).
         assert PHASE_READ not in run_pipeline(corpus).phase_seconds
+
+
+class TestMidRunFailureCleanup:
+    """A phase that raises mid-run must not leak the stream's readers."""
+
+    class _BoomWordcount:
+        """Stands in for the wordcount step: consumes a little, then dies."""
+
+        def run(self, corpus, backend=None):
+            for i, _ in enumerate(corpus):
+                if i >= 2:
+                    raise RuntimeError("phase exploded mid-stream")
+            raise AssertionError("stream should outlast two documents")
+
+    def test_phase_error_mid_stream_does_not_leak_reader_threads(self):
+        from repro.ops.tfidf import TfIdfOperator
+
+        storage = MemStorage()
+        paths = _populate(storage, n=30)
+        stream = DocumentStream(storage, paths, workers=3, prefetch=4)
+        tfidf = TfIdfOperator()
+        tfidf.wordcount = self._BoomWordcount()
+        with pytest.raises(RuntimeError, match="phase exploded"):
+            run_pipeline(stream, tfidf=tfidf)
+        _assert_no_reader_threads()
+
+    def test_post_stream_phase_error_still_cleans_up(self):
+        """An error *after* the stream is exhausted hits the same finally."""
+        from repro.ops.kmeans import KMeansOperator
+        from repro.ops.tfidf import TfIdfOperator
+
+        class BoomKMeans(KMeansOperator):
+            def fit(self, matrix, backend=None):
+                raise RuntimeError("kmeans exploded")
+
+        storage = MemStorage()
+        stream = DocumentStream(storage, _populate(storage, n=8), workers=2)
+        with pytest.raises(RuntimeError, match="kmeans exploded"):
+            run_pipeline(stream, tfidf=TfIdfOperator(), kmeans=BoomKMeans())
+        _assert_no_reader_threads()

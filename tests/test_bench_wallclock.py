@@ -53,6 +53,22 @@ class TestBenchWallclock:
         assert [run["backend"] for run in record["runs"]] == ["sequential"]
         assert record["runs"][0]["speedup_vs_sequential"] == 1.0
 
+    def test_traced_sweep_embeds_utilization(self):
+        record = bench_wallclock(
+            scale=0.002, backends=("processes",), workers=(2,),
+            repeats=1, kmeans_iters=1, trace=True,
+        )
+        (run,) = record["runs"]
+        assert run["output_identical"] is True
+        assert set(run["utilization"]) == {"input+wc", "transform", "kmeans"}
+        assert all(v > 0 for v in run["utilization"].values())
+
+    def test_untraced_sweep_has_no_trace_fields(self):
+        record = bench_wallclock(
+            scale=0.002, backends=("sequential",), repeats=1, kmeans_iters=1
+        )
+        assert "utilization" not in record["runs"][0]
+
 
 class TestBestOf:
     def test_phases_and_result_come_from_the_same_best_run(self):
@@ -134,6 +150,20 @@ class TestBenchIpcSweep:
             ipc = run["ipc"]
             assert set(ipc) == {"phases", "total"}
             assert ipc["total"]["tasks"] > 0
+            # IPC runs are span-traced: utilization/straggler summaries
+            # ride along in every record.
+            assert set(run["utilization"]) == {"input+wc", "transform",
+                                               "kmeans"}
+            for phase, value in run["utilization"].items():
+                assert 0.0 < value <= 1.0 + 1e-9
+                assert run["straggler_ratio"][phase] >= 1.0
+                stats = run["trace"][phase]
+                assert stats["n_tasks"] >= 1
+                assert stats["busy_s"] <= (
+                    stats["n_workers"] * stats["window_s"] + 1e-9
+                )
+            # Span payloads are billed separately from result bytes.
+            assert ipc["total"]["span_pickle_bytes"] > 0
 
     @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
     def test_shm_run_moves_bytes_off_the_task_path(self):
@@ -246,3 +276,8 @@ class TestBenchWallclockTool:
         for run in record["runs"]:
             assert run["output_identical"] is True
             assert run["ipc"]["total"]["tasks"] > 0
+            # The tool exits non-zero when these are missing; belt and
+            # braces: the written record carries them too.
+            assert "utilization" in run and "straggler_ratio" in run
+            assert run["trace"]
+        assert "util" in proc.stdout

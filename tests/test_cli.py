@@ -126,6 +126,45 @@ class TestRealPipeline:
         out = capsys.readouterr().out
         assert "input+wc" in out and "kmeans" in out
 
+    def test_pipeline_trace_writes_valid_chrome_json(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        import json
+
+        clusters = str(tmp_path / "clusters.txt")
+        trace_path = str(tmp_path / "trace.json")
+        # Acceptance spelling: singular "process" must be accepted.
+        assert main(["pipeline", "--input", corpus_dir, "--output", clusters,
+                     "--backend", "process", "--workers", "2",
+                     "--read-workers", "2", "--max-iters", "3",
+                     "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "utilization:" in out
+        doc = json.loads(open(trace_path).read())
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs, "trace must contain complete span events"
+        for event in xs:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        # At least one span per pipeline phase, with per-worker lanes.
+        assert {e["cat"] for e in xs} == {"read", "input+wc", "transform",
+                                          "kmeans"}
+        assert len({e["tid"] for e in xs}) >= 2
+
+    def test_pipeline_output_identical_with_and_without_trace(
+        self, corpus_dir, tmp_path
+    ):
+        outputs = {}
+        for label, extra in (("plain", []),
+                             ("traced", ["--trace",
+                                         str(tmp_path / "t.json")])):
+            path = str(tmp_path / f"{label}.txt")
+            assert main(["pipeline", "--input", corpus_dir, "--output", path,
+                         "--backend", "processes", "--workers", "2",
+                         "--max-iters", "3"] + extra) == 0
+            outputs[label] = open(path).read()
+        assert outputs["plain"] == outputs["traced"]
+
     def test_pipeline_backends_agree(self, corpus_dir, tmp_path):
         outputs = {}
         for backend in ("sequential", "processes"):

@@ -151,15 +151,29 @@ def main(argv: list[str] | None = None) -> int:
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
     if args.mode == "ipc":
         header = (f"{'shm':>5} {'workers':>7} {'total_s':>9} "
-                  f"{'task_MB':>9} {'kmeans_B/iter':>13} identical")
+                  f"{'task_MB':>9} {'kmeans_B/iter':>13} {'util':>5} identical")
         print(header)
         for run in record["runs"]:
             task_mb = run["ipc"]["total"]["task_pickle_bytes"] / 1e6
+            util = run.get("utilization", {}).get("kmeans", 0.0)
             print(f"{('on' if run['shm'] else 'off'):>5} "
                   f"{run['workers']:>7} {run['total_s']:>9.3f} "
                   f"{task_mb:>9.2f} "
                   f"{run['kmeans_task_bytes_per_iter']:>13.0f} "
+                  f"{util:>5.0%} "
                   f"{'yes' if run['output_identical'] else 'NO'}")
+        # IPC records double as the utilization trajectory: a record
+        # without the trace summary is an incomplete benchmark.
+        missing = [
+            index
+            for index, run in enumerate(record["runs"])
+            if "utilization" not in run or "straggler_ratio" not in run
+            or not run.get("trace")
+        ]
+        if missing:
+            print(f"error: ipc runs {missing} lack utilization/trace fields",
+                  file=sys.stderr)
+            return 1
     elif args.mode == "read":
         print(f"compute: {record['backend']} x {record['workers']}")
         header = (f"{'read_workers':>12} {'total_s':>9} {'read_s':>8} "

@@ -1,0 +1,126 @@
+"""Validate a Chrome trace-event JSON file emitted by ``--trace``.
+
+Checks the structural contract that chrome://tracing / Perfetto rely on —
+and that the repo's observability guarantees promise:
+
+* top level is ``{"traceEvents": [...]}``;
+* every event has ``ph``/``pid``/``tid``/``name``, with ``ph`` one of the
+  types we emit (``M`` metadata, ``X`` complete);
+* every ``X`` event has numeric, non-negative ``ts`` and ``dur``
+  (microseconds);
+* per ``tid`` lane, ``X`` events do not overlap — one worker cannot run
+  two tasks at once;
+* optionally (``--phases a,b,...``) every named phase contributed at
+  least one span.
+
+Usage::
+
+    PYTHONPATH=src python -m repro pipeline ... --trace t.json
+    python tools/validate_trace.py t.json --phases read,input+wc,transform,kmeans
+
+Exit code 0 when the file passes, 1 with a diagnostic when it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Event types RunTrace.to_chrome_trace emits.
+_ALLOWED_PH = {"M", "X"}
+
+#: Tolerance for lane-overlap checks, in microseconds. Timestamps are
+#: rounded to 3 decimals on export, so back-to-back tasks may touch.
+_OVERLAP_SLACK_US = 0.002
+
+
+def validate(trace: object, required_phases: list[str]) -> list[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["top level must be an object with a 'traceEvents' key"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' must be a non-empty list"]
+
+    lanes: dict[object, list[tuple[float, float, str]]] = {}
+    seen_phases: set[str] = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                problems.append(f"event {index} lacks required key {key!r}")
+        ph = event.get("ph")
+        if ph not in _ALLOWED_PH:
+            problems.append(f"event {index} has unexpected ph {ph!r}")
+            continue
+        if ph != "X":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+            problems.append(f"event {index} ({event.get('name')}) has "
+                            f"non-numeric ts/dur")
+            continue
+        if ts < 0 or dur < 0:
+            problems.append(f"event {index} ({event.get('name')}) has "
+                            f"negative ts/dur ({ts}, {dur})")
+        lanes.setdefault(event.get("tid"), []).append(
+            (float(ts), float(ts) + float(dur), str(event.get("name")))
+        )
+        cat = event.get("cat")
+        if isinstance(cat, str):
+            seen_phases.add(cat)
+
+    if not any(lane for lane in lanes.values()):
+        problems.append("no complete ('X') span events found")
+
+    for tid, spans in lanes.items():
+        spans.sort()
+        for (s0, e0, n0), (s1, _, n1) in zip(spans, spans[1:]):
+            if s1 < e0 - _OVERLAP_SLACK_US:
+                problems.append(
+                    f"lane tid={tid}: spans overlap ({n0} ends at {e0:.3f}us, "
+                    f"{n1} starts at {s1:.3f}us)"
+                )
+
+    for phase in required_phases:
+        if phase not in seen_phases:
+            problems.append(f"phase {phase!r} contributed no spans "
+                            f"(saw: {sorted(seen_phases)})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument("--phases", default="",
+                        help="comma-separated phases that must each have "
+                        "at least one span")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    required = [p for p in args.phases.split(",") if p]
+    problems = validate(trace, required)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+
+    n_spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    lanes = {e.get("tid") for e in trace["traceEvents"] if e.get("ph") == "X"}
+    print(f"{args.trace}: valid trace-event JSON "
+          f"({n_spans} spans across {len(lanes)} worker lane(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
