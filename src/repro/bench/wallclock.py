@@ -16,6 +16,13 @@ seconds on the host. It has two modes:
   snapshot (bytes pickled per phase, segments, broadcasts). On a 1-CPU
   host wall-clock deltas read as noise; the pickled-byte counters show
   the shm win unambiguously.
+* :func:`bench_fault_recovery` — injects deterministic faults (transient
+  exceptions, a worker crash, a poisoned task) into process-backend runs
+  under a retry policy and measures the recovery bill: re-executed tasks,
+  re-pickled bytes, pool restarts, quarantined documents, and the
+  wall-clock overhead against a fault-free run with the same policy.
+  Recovered runs must stay bit-identical to the fault-free baseline;
+  quarantine runs must differ by exactly the quarantined documents.
 
 ``tools/bench_wallclock.py`` wraps both into a CLI that appends records
 to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
@@ -38,19 +45,23 @@ from typing import Callable, Sequence
 
 from repro.core.pipeline import RealRunResult, run_pipeline
 from repro.errors import BenchmarkError
+from repro.exec.faultinject import FaultPlan, FaultSpec
 from repro.exec.process import make_backend
+from repro.exec.resilience import ResilienceConfig, RetryPolicy
 from repro.exec.shm import shm_available
 from repro.io.corpus_io import store_corpus
 from repro.io.parallel_read import corpus_stream
 from repro.io.storage import FsStorage
 from repro.ops.kmeans import KMeansOperator
-from repro.ops.tfidf import TfIdfOperator
+from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator
+from repro.ops.wordcount import PHASE_INPUT_WC
 from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
 
 __all__ = [
     "bench_wallclock",
     "bench_read_sweep",
     "bench_ipc_sweep",
+    "bench_fault_recovery",
     "DEFAULT_WORKER_SWEEP",
     "DEFAULT_READ_WORKER_SWEEP",
 ]
@@ -379,6 +390,170 @@ def bench_ipc_sweep(
         "n_docs": len(corpus),
         "repeats": repeats,
         "kmeans_iters": kmeans_iters,
+        "shm_available": shm_available(),
+        "host": _host(),
+        "runs": runs,
+    }
+
+
+#: Counters that make up one run's recovery bill (from ``PhaseIpc``).
+_RECOVERY_KEYS = (
+    "retries", "retry_pickle_bytes", "timeouts", "pool_restarts", "quarantined",
+)
+
+
+def _rows_equal_minus(
+    result: RealRunResult, reference: RealRunResult, dropped: set[int]
+) -> bool:
+    """True when ``result``'s matrix is ``reference``'s minus ``dropped`` rows."""
+    ref_rows = [
+        row
+        for index, row in enumerate(reference.tfidf.matrix.iter_rows())
+        if index not in dropped
+    ]
+    rows = list(result.tfidf.matrix.iter_rows())
+    return len(rows) == len(ref_rows) and all(
+        a.indices == b.indices and a.values == b.values
+        for a, b in zip(rows, ref_rows)
+    )
+
+
+def bench_fault_recovery(
+    profile: str = "mix",
+    scale: float = 0.01,
+    workers: int = 2,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+    shm: bool | None = None,
+    max_attempts: int = 3,
+) -> dict:
+    """Measure the cost of surviving injected faults on the process backend.
+
+    Four scenarios run the fused pipeline under the same
+    :class:`~repro.exec.resilience.RetryPolicy`:
+
+    * ``baseline`` — no faults; the reference output and wall clock (also
+      shows the hardened code path's overhead is paid only when armed).
+    * ``transient-errors`` — one planned exception in phase 1 and one in
+      the transform; both must be absorbed by retries.
+    * ``worker-crash`` — a worker hard-exits mid-phase; the pool is
+      respawned and the in-flight chunks replayed.
+    * ``poison-quarantine`` — a transform task fails on *every* attempt;
+      under ``on_poison="quarantine"`` its documents are isolated and the
+      run completes without them.
+
+    Recovered runs must be bit-identical to ``baseline``; the quarantine
+    run must differ by exactly its quarantined rows. Each record carries
+    the recovery counters (re-executions, re-pickled bytes, pool
+    restarts, quarantined units) and the wall-clock overhead ratio.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+
+    retry = RetryPolicy(max_attempts=max_attempts, backoff_base_s=0.0)
+    cfg = ResilienceConfig(retry=retry)
+    cfg_quarantine = ResilienceConfig(retry=retry, on_poison="quarantine")
+    scenarios: list[tuple[str, Callable[[str], FaultPlan] | None, ResilienceConfig]] = [
+        ("baseline", None, cfg),
+        (
+            "transient-errors",
+            lambda state: FaultPlan(
+                [
+                    FaultSpec(PHASE_INPUT_WC, 1, "raise"),
+                    FaultSpec(PHASE_TRANSFORM, 0, "raise"),
+                ],
+                state,
+            ),
+            cfg,
+        ),
+        (
+            "worker-crash",
+            lambda state: FaultPlan([FaultSpec(PHASE_INPUT_WC, 1, "exit")], state),
+            cfg,
+        ),
+        (
+            "poison-quarantine",
+            lambda state: FaultPlan(
+                [FaultSpec(PHASE_TRANSFORM, 0, "raise", times=1_000_000)], state
+            ),
+            cfg_quarantine,
+        ),
+    ]
+
+    runs: list[dict] = []
+    reference: RealRunResult | None = None
+    reference_total: float | None = None
+    for name, make_plan, config in scenarios:
+        label = f"fault scenario {name!r} ({workers} process worker(s))"
+
+        def run_once() -> RealRunResult:
+            state = tempfile.mkdtemp(prefix="repro-faults-")
+            plan = make_plan(state) if make_plan is not None else None
+            backend = make_backend("processes", workers, shm=shm, resilience=config)
+            if plan is not None:
+                backend.fault_plan = plan
+            try:
+                result = run_pipeline(
+                    corpus,
+                    backend=backend,
+                    tfidf=TfIdfOperator(),
+                    kmeans=KMeansOperator(max_iters=kmeans_iters),
+                    trace=True,
+                )
+                result.faults_fired = (  # type: ignore[attr-defined]
+                    plan.total_fired() if plan is not None else 0
+                )
+                return result
+            finally:
+                backend.close()
+                shutil.rmtree(state, ignore_errors=True)
+
+        total, result, phases = _best_of(repeats, run_once, label)
+        if reference is None:
+            reference, reference_total = result, total
+        quarantining = config.quarantining
+        dropped = set(result.quarantine.doc_ids) if result.quarantine else set()
+        identical = result is reference or _matrices_equal(result, reference)
+        if quarantining and dropped:
+            ok = _rows_equal_minus(result, reference, dropped)
+        else:
+            ok = identical
+        ipc_total = (result.ipc or {}).get("total", {})
+        runs.append(
+            {
+                "scenario": name,
+                "workers": workers,
+                "phases": phases,
+                "total_s": total,
+                "overhead_vs_baseline": (
+                    total / reference_total if reference_total else 1.0
+                ),
+                "faults_fired": getattr(result, "faults_fired", 0),
+                "recovery": {key: ipc_total.get(key, 0) for key in _RECOVERY_KEYS},
+                "retried_spans": (
+                    sum(1 for span in result.trace.spans if span.attempt > 1)
+                    if result.trace is not None
+                    else 0
+                ),
+                "on_poison": config.on_poison,
+                "quarantined_docs": sorted(dropped),
+                "output_identical": identical,
+                "ok": ok,
+                "ipc": result.ipc,
+            }
+        )
+
+    return {
+        "benchmark": "wallclock-faults",
+        "profile": profile,
+        "scale": scale,
+        "n_docs": len(corpus),
+        "workers": workers,
+        "repeats": repeats,
+        "kmeans_iters": kmeans_iters,
+        "max_attempts": max_attempts,
         "shm_available": shm_available(),
         "host": _host(),
         "runs": runs,

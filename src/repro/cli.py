@@ -28,6 +28,7 @@ from repro.core.planner import WorkflowPlanner
 from repro.core.workflow import build_tfidf_kmeans_workflow
 from repro.exec.machine import paper_node
 from repro.exec.process import BACKEND_CHOICES, _BACKEND_ALIASES, make_backend
+from repro.exec.resilience import POISON_MODES, ResilienceConfig, RetryPolicy
 from repro.exec.scheduler import SimScheduler
 from repro.io.arff import read_sparse_arff, write_sparse_arff
 from repro.io.corpus_io import load_corpus, store_corpus
@@ -61,11 +62,64 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         help="share large arrays with process workers via POSIX shared "
         "memory (default: on where available; --no-shm forces pickled IPC)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed task up to N times before giving up "
+        "(default: 0 = fail fast); see docs/resilience.md",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base backoff before the first retry (doubles per attempt, "
+        "with deterministic jitter)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task deadline; a hung process worker is killed and the "
+        "task retried on a fresh pool",
+    )
+    parser.add_argument(
+        "--phase-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline for each pipeline phase as a whole",
+    )
+    parser.add_argument(
+        "--on-poison", choices=list(POISON_MODES), default="raise",
+        help="what to do with a task that exhausts its retries: abort the "
+        "run (raise) or isolate the poisoned document(s) and finish the "
+        "rest (quarantine)",
+    )
+
+
+def _cli_resilience(args) -> ResilienceConfig | None:
+    """Fault-tolerance policy from the flags; None = seed fail-fast paths."""
+    retries = getattr(args, "retries", 0)
+    task_timeout = getattr(args, "task_timeout", None)
+    phase_timeout = getattr(args, "phase_timeout", None)
+    on_poison = getattr(args, "on_poison", "raise")
+    if retries < 0:
+        raise ConfigurationError(f"--retries must be >= 0, got {retries}")
+    if (
+        retries == 0
+        and task_timeout is None
+        and phase_timeout is None
+        and on_poison == "raise"
+    ):
+        return None
+    return ResilienceConfig(
+        retry=RetryPolicy(
+            max_attempts=retries + 1,
+            backoff_base_s=getattr(args, "retry_backoff", 0.05),
+        ),
+        task_timeout_s=task_timeout,
+        phase_timeout_s=phase_timeout,
+        on_poison=on_poison,
+    )
 
 
 def _make_cli_backend(args):
     """Build the backend an invocation asked for (caller must close it)."""
-    return make_backend(args.backend, args.workers, shm=args.shm)
+    return make_backend(
+        args.backend, args.workers, shm=args.shm, resilience=_cli_resilience(args)
+    )
 
 
 def _add_read_args(parser: argparse.ArgumentParser) -> None:
@@ -84,12 +138,22 @@ def _add_read_args(parser: argparse.ArgumentParser) -> None:
 def _make_cli_stream(args):
     """Bounded-prefetch document stream over the input directory."""
     storage = FsStorage(args.input)
+    retries = getattr(args, "retries", 0)
+    retry = (
+        RetryPolicy(
+            max_attempts=retries + 1,
+            backoff_base_s=getattr(args, "retry_backoff", 0.05),
+        )
+        if retries > 0
+        else None
+    )
     return corpus_stream(
         storage,
         "",
         workers=args.read_workers,
         prefetch=args.prefetch,
         name=os.path.basename(args.input),
+        retry=retry,
     )
 
 
@@ -151,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record per-task spans and write Chrome trace-event JSON "
         "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    pipe.add_argument(
+        "--degrade", action="store_true",
+        help="fall back to a weaker backend (processes -> threads -> "
+        "sequential) instead of failing when the worker pool cannot be "
+        "kept alive",
     )
     _add_backend_args(pipe)
     _add_read_args(pipe)
@@ -284,6 +354,7 @@ def _cmd_pipeline(args) -> int:
             tfidf=tfidf,
             kmeans=kmeans,
             trace=args.trace is not None,
+            degrade=args.degrade,
         )
 
     if args.arff is not None:
@@ -312,6 +383,24 @@ def _cmd_pipeline(args) -> int:
             f"{total['segments']} shared segment(s) "
             f"({total['segment_bytes'] / 1e6:.2f} MB), "
             f"{total['broadcasts']} broadcast(s)"
+        )
+        if total["retries"] or total["timeouts"] or total["pool_restarts"]:
+            print(
+                f"recovery: {total['retries']} task re-execution(s) "
+                f"({total['retry_pickle_bytes'] / 1e6:.2f} MB re-pickled), "
+                f"{total['timeouts']} timeout(s), "
+                f"{total['pool_restarts']} pool restart(s)"
+            )
+    for event in result.downgrades:
+        print(
+            f"degraded: {event.from_backend} -> {event.to_backend} "
+            f"during phase {event.phase!r} ({event.reason})"
+        )
+    if result.quarantine:
+        docs = ", ".join(str(d) for d in result.quarantine.doc_ids)
+        print(
+            f"quarantined: {len(result.quarantine)} poisoned slice(s)"
+            + (f"; dropped document id(s): {docs}" if docs else "")
         )
     if result.trace is not None:
         result.trace.write_chrome_trace(args.trace)

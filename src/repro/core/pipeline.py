@@ -19,10 +19,13 @@ bit-identical with tracing on or off.
 from __future__ import annotations
 
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.exec.inline import ExecutionBackend
+from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
+from repro.exec.process import ProcessBackend
+from repro.exec.resilience import DowngradeEvent, QuarantineReport
 from repro.exec.spans import RunTrace
 from repro.io.parallel_read import DocumentStream
 from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
@@ -31,6 +34,30 @@ from repro.ops.wordcount import PHASE_INPUT_WC
 from repro.text.corpus import Corpus
 
 __all__ = ["RealRunResult", "run_pipeline", "PHASE_READ"]
+
+
+def _downgraded(backend: ExecutionBackend) -> ExecutionBackend | None:
+    """The next tier down (processes → threads → sequential), or ``None``."""
+    if isinstance(backend, ProcessBackend):
+        return ThreadBackend(backend.workers, backend.resilience)
+    if isinstance(backend, ThreadBackend):
+        return SequentialBackend(backend.resilience)
+    return None
+
+
+def _transplant(old: ExecutionBackend, new: ExecutionBackend) -> None:
+    """Carry one run's accounting state onto a downgraded backend.
+
+    IPC counters, span recorder, quarantine report, and task-id counters
+    move over so the run's bill stays continuous across the downgrade.
+    The fault plan deliberately does *not* move: its directives targeted
+    the dead backend's workers (an ``exit`` fault re-fired in-process
+    would kill the parent), and the point of degrading is to finish.
+    """
+    new.ipc = old.ipc
+    new.spans = old.spans
+    new.quarantine = old.quarantine
+    new._task_counters = old._task_counters
 
 #: Phase label for time the pipeline spent blocked on input reads. Only
 #: reported for streamed input (a :class:`DocumentStream`); a materialized
@@ -53,6 +80,13 @@ class RealRunResult:
     #: Per-task span trace (:class:`repro.exec.spans.RunTrace`) when the run
     #: was traced; ``None`` otherwise.
     trace: RunTrace | None = None
+    #: Items isolated by ``on_poison="quarantine"`` during this run
+    #: (:class:`repro.exec.resilience.QuarantineReport`); ``None`` when
+    #: nothing was quarantined (including every fail-fast run).
+    quarantine: QuarantineReport | None = None
+    #: Backend downgrades performed because ``degrade=True`` absorbed a
+    #: dead worker pool, in order.
+    downgrades: list[DowngradeEvent] = field(default_factory=list)
 
     @property
     def total_s(self) -> float:
@@ -66,6 +100,7 @@ def run_pipeline(
     kmeans: KMeansOperator | None = None,
     *,
     trace: bool = False,
+    degrade: bool = False,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -85,6 +120,15 @@ def run_pipeline(
     backend. If a phase raises mid-run with streamed input, the stream's
     reader pool is torn down before the error propagates — no reader
     threads are leaked.
+
+    ``degrade=True`` absorbs a dead worker pool (a
+    ``BrokenProcessPool`` that survived the backend's own restart
+    breaker) by rebuilding the failed phase one backend tier down —
+    processes → threads → sequential — with the run's accounting
+    transplanted; each step is recorded as a
+    :class:`~repro.exec.resilience.DowngradeEvent` on the result. Phase 1
+    over *streamed* input cannot be replayed (the stream is partially
+    consumed), so there the error still propagates.
     """
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
@@ -92,16 +136,47 @@ def run_pipeline(
     kmeans = kmeans or KMeansOperator()
     seconds: dict[str, float] = {}
     streamed = isinstance(corpus, DocumentStream)
+    downgrades: list[DowngradeEvent] = []
+    created: list[ExecutionBackend] = []
     if backend is not None:
         backend.ipc.reset()  # this run's bill only
+        backend.quarantine.clear()
         if trace:
             backend.spans.begin_run()
             if streamed:
                 corpus.spans = backend.spans
 
+    def run_phase(phase: str, thunk, *, replayable: bool = True):
+        """One phase attempt, degrading through the tiers if allowed."""
+        nonlocal backend
+        while True:
+            try:
+                return thunk(backend)
+            except BrokenProcessPool as exc:
+                if backend is None or not degrade or not replayable:
+                    raise
+                lower = _downgraded(backend)
+                if lower is None:
+                    raise
+                _transplant(backend, lower)
+                created.append(lower)
+                downgrades.append(
+                    DowngradeEvent(
+                        phase=phase,
+                        from_backend=backend.name,
+                        to_backend=lower.name,
+                        reason=str(exc),
+                    )
+                )
+                backend = lower
+
     try:
         t0 = time.perf_counter()
-        wc = tfidf.wordcount.run(corpus, backend=backend)
+        wc = run_phase(
+            PHASE_INPUT_WC,
+            lambda be: tfidf.wordcount.run(corpus, backend=be),
+            replayable=not streamed,
+        )
         t1 = time.perf_counter()
         if streamed:
             read_s = corpus.wait_seconds
@@ -110,11 +185,16 @@ def run_pipeline(
         else:
             seconds[PHASE_INPUT_WC] = t1 - t0
 
-        scores = tfidf.transform_wordcount(wc, backend=backend)
+        scores = run_phase(
+            PHASE_TRANSFORM,
+            lambda be: tfidf.transform_wordcount(wc, backend=be),
+        )
         t2 = time.perf_counter()
         seconds[PHASE_TRANSFORM] = t2 - t1
 
-        clusters = kmeans.fit(scores.matrix, backend=backend)
+        clusters = run_phase(
+            PHASE_KMEANS, lambda be: kmeans.fit(scores.matrix, backend=be)
+        )
         t3 = time.perf_counter()
         seconds[PHASE_KMEANS] = t3 - t2
     finally:
@@ -124,6 +204,8 @@ def run_pipeline(
             corpus.close()
         if trace:
             backend.spans.end_run()
+        for lower in created:
+            lower.close()
 
     run_trace: RunTrace | None = None
     if trace:
@@ -134,6 +216,10 @@ def run_pipeline(
             workers=backend.workers,
         )
 
+    quarantine = None
+    if backend is not None and backend.quarantine:
+        quarantine = backend.quarantine
+
     return RealRunResult(
         tfidf=scores,
         kmeans=clusters,
@@ -141,4 +227,6 @@ def run_pipeline(
         backend_name=backend.name if backend is not None else "inline",
         ipc=backend.ipc.snapshot() if backend is not None else None,
         trace=run_trace,
+        quarantine=quarantine,
+        downgrades=downgrades,
     )

@@ -17,6 +17,8 @@ __all__ = [
     "PlannerError",
     "OperatorError",
     "BenchmarkError",
+    "TaskTimeoutError",
+    "PhaseTimeoutError",
 ]
 
 
@@ -54,3 +56,11 @@ class OperatorError(ReproError):
 
 class BenchmarkError(ReproError):
     """A wall-clock benchmark run failed; carries the failing configuration."""
+
+
+class TaskTimeoutError(ReproError):
+    """A task exceeded its per-task deadline (and its retry budget)."""
+
+
+class PhaseTimeoutError(TaskTimeoutError):
+    """A pipeline phase exceeded its per-phase deadline."""

@@ -6,9 +6,17 @@ package reproduces that environment as a deterministic virtual-time model
 plain real executors for functional runs.
 """
 
+from repro.exec.faultinject import FAULT_KINDS, FaultInjected, FaultPlan, FaultSpec
 from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
 from repro.exec.machine import MachineSpec, fast_ssd_node, paper_node
 from repro.exec.process import BACKEND_CHOICES, ProcessBackend, make_backend
+from repro.exec.resilience import (
+    DowngradeEvent,
+    QuarantinedItem,
+    QuarantineReport,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.exec.shm import IpcStats, shm_available
 from repro.exec.spans import RunTrace, SpanRecorder, TaskSpan
 from repro.exec.metrics import (
@@ -49,4 +57,13 @@ __all__ = [
     "RunTrace",
     "SpanRecorder",
     "TaskSpan",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "QuarantinedItem",
+    "QuarantineReport",
+    "DowngradeEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "FAULT_KINDS",
 ]

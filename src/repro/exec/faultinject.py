@@ -1,0 +1,210 @@
+"""Deterministic fault injection for the real execution backends.
+
+Testing recovery paths against real worker crashes is flaky by nature —
+unless the faults themselves are planned. A :class:`FaultPlan` names, up
+front, exactly which tasks misbehave and how:
+
+* ``raise``  — the task raises :class:`FaultInjected` (a transient,
+  retryable failure);
+* ``hang``   — the task sleeps ``hang_s`` seconds (a wedged worker, to be
+  reclaimed by the per-task timeout);
+* ``exit``   — the task calls ``os._exit`` (a hard worker crash: the
+  process dies without unwinding, the pool breaks).
+
+Faults are keyed by ``(phase, task_id)`` — the same ids the span tracer
+and IPC accounting use — and fire at most ``times`` times. The firing
+state lives in a caller-owned directory of marker files, **not** in
+process memory: a crashed-and-respawned worker sees that its fault
+already fired and completes the replay, which is exactly the real-world
+shape of a transient fault (and what lets a deterministic test assert
+recovery instead of a crash loop).
+
+Plans are installed on a backend (``backend.fault_plan = plan``); the
+process backend ships each task's matching directive inside the task
+payload, the in-process backends consult the plan inline. The plan only
+*adds* failures — it never touches task data, so a recovered run is
+bit-identical to a fault-free one.
+
+``FaultPlan.seeded`` derives the victim tasks from a seed for
+property-style sweeps; explicit specs remain the precise tool.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["FAULT_KINDS", "FaultInjected", "FaultSpec", "FaultPlan", "fire_spec"]
+
+#: Supported misbehaviors, roughly ordered by severity.
+FAULT_KINDS = ("raise", "hang", "exit")
+
+#: Exit status a crashed (``exit``-fault) worker dies with; distinctive
+#: enough to spot in pool diagnostics.
+CRASH_EXIT_CODE = 86
+
+
+class FaultInjected(ReproError):
+    """The transient failure a ``raise`` fault throws inside a task."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: which task, what happens, how often."""
+
+    phase: str
+    task_id: int
+    kind: str
+    #: Fire on the first ``times`` executions of the task, then behave.
+    times: int = 1
+    #: Sleep duration for ``hang`` faults (pick it well above the
+    #: backend's task timeout so the hang is observed as a hang).
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ConfigurationError(f"fault times must be >= 1, got {self.times}")
+
+    @property
+    def key(self) -> str:
+        return f"{self.phase}#{self.task_id}"
+
+
+def _marker_path(state_dir: str, spec: FaultSpec) -> str:
+    safe_phase = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in spec.phase
+    )
+    return os.path.join(state_dir, f"fired_{safe_phase}_{spec.task_id}")
+
+
+def _fire_count(state_dir: str, spec: FaultSpec) -> int:
+    try:
+        return os.path.getsize(_marker_path(state_dir, spec))
+    except OSError:
+        return 0
+
+
+def _record_fire(state_dir: str, spec: FaultSpec) -> None:
+    # One byte appended per firing; append is atomic enough because a
+    # given task id executes on one worker at a time (replays included).
+    with open(_marker_path(state_dir, spec), "ab") as handle:
+        handle.write(b"x")
+
+
+def fire_spec(spec: FaultSpec, state_dir: str) -> None:
+    """Fire ``spec`` once if its budget allows — called inside the task.
+
+    Module-level (and driven by plain picklable arguments) so the process
+    backend can ship a directive inside a task payload and the worker can
+    execute it without holding the whole plan.
+    """
+    if _fire_count(state_dir, spec) >= spec.times:
+        return
+    _record_fire(state_dir, spec)
+    if spec.kind == "raise":
+        raise FaultInjected(
+            f"injected transient fault in task {spec.key} "
+            f"(firing {_fire_count(state_dir, spec)}/{spec.times})"
+        )
+    if spec.kind == "hang":
+        time.sleep(spec.hang_s)
+        return
+    # "exit": die without unwinding — no finally blocks, no atexit, the
+    # closest stand-in for a segfaulted or OOM-killed worker.
+    os._exit(CRASH_EXIT_CODE)
+
+
+class FaultPlan:
+    """A set of planned faults plus the directory holding firing state.
+
+    ``state_dir`` must exist and outlive the run (tests pass ``tmp_path``);
+    :meth:`reset` clears the firing markers so one plan can drive several
+    runs. Multiple specs may target different tasks; at most one spec per
+    ``(phase, task_id)``.
+    """
+
+    def __init__(self, specs, state_dir: str) -> None:
+        if not os.path.isdir(state_dir):
+            raise ConfigurationError(
+                f"fault-plan state_dir {state_dir!r} is not a directory"
+            )
+        self.state_dir = state_dir
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self._by_task: dict[tuple[str, int], FaultSpec] = {}
+        for spec in self.specs:
+            key = (spec.phase, spec.task_id)
+            if key in self._by_task:
+                raise ConfigurationError(
+                    f"duplicate fault for task {spec.key}"
+                )
+            self._by_task[key] = spec
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        state_dir: str,
+        *,
+        phases=("input+wc", "transform", "kmeans"),
+        tasks_per_phase: int = 8,
+        kinds=("raise",),
+        times: int = 1,
+        hang_s: float = 30.0,
+    ) -> "FaultPlan":
+        """Derive victim tasks deterministically from ``seed``.
+
+        Each requested kind is assigned to one task drawn (without
+        replacement) from the ``phases × tasks_per_phase`` grid — the
+        same seed always builds the same plan.
+        """
+        rng = random.Random(seed)
+        grid = [(phase, task_id) for phase in phases for task_id in range(tasks_per_phase)]
+        if len(kinds) > len(grid):
+            raise ConfigurationError(
+                f"cannot place {len(kinds)} faults on a grid of {len(grid)} tasks"
+            )
+        victims = rng.sample(grid, len(tuple(kinds)))
+        specs = [
+            FaultSpec(phase=phase, task_id=task_id, kind=kind, times=times, hang_s=hang_s)
+            for (phase, task_id), kind in zip(victims, kinds)
+        ]
+        return cls(specs, state_dir)
+
+    def spec_for(self, phase: str, task_id: int) -> FaultSpec | None:
+        return self._by_task.get((phase, task_id))
+
+    def fire(self, phase: str, task_id: int) -> None:
+        """In-process injection hook (sequential/thread backends)."""
+        spec = self.spec_for(phase, task_id)
+        if spec is not None:
+            fire_spec(spec, self.state_dir)
+
+    def fired(self, phase: str, task_id: int) -> int:
+        """How many times the fault planned for this task has fired."""
+        spec = self.spec_for(phase, task_id)
+        return 0 if spec is None else _fire_count(self.state_dir, spec)
+
+    def total_fired(self) -> int:
+        return sum(_fire_count(self.state_dir, spec) for spec in self.specs)
+
+    def reset(self) -> None:
+        """Clear firing state so the plan can drive a fresh run."""
+        for spec in self.specs:
+            try:
+                os.remove(_marker_path(self.state_dir, spec))
+            except OSError:
+                pass
+
+    def scaled(self, **overrides) -> "FaultPlan":
+        """A copy with every spec's fields overridden (e.g. ``hang_s``)."""
+        return FaultPlan(
+            [replace(spec, **overrides) for spec in self.specs], self.state_dir
+        )

@@ -46,11 +46,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PhaseTimeoutError, TaskTimeoutError
+from repro.exec.faultinject import fire_spec
 from repro.exec.inline import (
     ExecutionBackend,
     SequentialBackend,
@@ -59,6 +62,7 @@ from repro.exec.inline import (
     apply_chunk,
 )
 from repro.exec.parallel import auto_grain
+from repro.exec.resilience import ResilienceConfig, bisect_chunk, run_attempts
 from repro.exec.shm import ShmArrays, ShmBroadcast, ShmPlane, shm_available
 from repro.exec.spans import install_worker_epoch, worker_now
 
@@ -94,9 +98,16 @@ def run_pickled_chunk(payload: bytes) -> bytes:
 
     The parent pickles ``(fn, chunk)`` itself — measuring the payload —
     and the worker pickles the results back, so both directions are
-    counted without serializing anything twice.
+    counted without serializing anything twice. Hardened submissions
+    append ``(fault, attempt)``: a planned-fault directive fired before
+    the chunk runs (see :mod:`repro.exec.faultinject`) and the 1-based
+    execution attempt.
     """
-    fn, chunk = pickle.loads(payload)
+    loaded = pickle.loads(payload)
+    fn, chunk = loaded[0], loaded[1]
+    if len(loaded) > 2 and loaded[2] is not None:
+        spec, state_dir = loaded[2]
+        fire_spec(spec, state_dir)
     return pickle.dumps(apply_chunk(fn, chunk))
 
 
@@ -122,7 +133,13 @@ def run_pickled_chunk_traced(payload: bytes) -> tuple[bytes, bytes]:
     pickle is byte-for-byte the one the untraced trampoline produces.
     """
     t_start = worker_now()
-    fn, chunk, task_id, phase, t_submit = pickle.loads(payload)
+    loaded = pickle.loads(payload)
+    fn, chunk, task_id, phase, t_submit = loaded[:5]
+    fault = loaded[5] if len(loaded) > 5 else None
+    attempt = loaded[6] if len(loaded) > 6 else 1
+    if fault is not None:
+        spec, state_dir = fault
+        fire_spec(spec, state_dir)
     results_blob = pickle.dumps(apply_chunk(fn, chunk))
     span = (
         phase,
@@ -134,8 +151,38 @@ def run_pickled_chunk_traced(payload: bytes) -> tuple[bytes, bytes]:
         len(payload),
         len(results_blob),
         max(0.0, t_start - t_submit),
+        attempt,
     )
     return results_blob, pickle.dumps(span)
+
+
+class _ChunkTask:
+    """Parent-side record of one submitted chunk, across retries/replays.
+
+    ``item_index`` is the chunk's first item's position in the original
+    map input (quarantine coordinates); ``results`` flips from ``None``
+    to the chunk's result list exactly once, which is also the "done"
+    flag replay logic keys on.
+    """
+
+    __slots__ = (
+        "fn", "chunk", "item_index", "task_id", "phase",
+        "attempt", "future", "results",
+    )
+
+    def __init__(self, fn, chunk, item_index: int, task_id: int, phase: str) -> None:
+        self.fn = fn
+        self.chunk = chunk
+        self.item_index = item_index
+        self.task_id = task_id
+        self.phase = phase
+        self.attempt = 1
+        self.future = None
+        self.results = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.phase}#{self.task_id}"
 
 
 class ProcessBackend(ExecutionBackend):
@@ -146,8 +193,9 @@ class ProcessBackend(ExecutionBackend):
         workers: int,
         start_method: str | None = None,
         shm: bool | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(resilience)
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -173,6 +221,13 @@ class ProcessBackend(ExecutionBackend):
         #: ``"phase#task_id"`` of the most recently submitted task — the
         #: context a :class:`BrokenProcessPool` error names.
         self._last_task: str | None = None
+        #: Worker-pool deaths absorbed in the current phase; bounded by
+        #: the circuit breaker (``resilience.max_pool_restarts``).
+        self._pool_restarts_phase = 0
+
+    def begin_phase(self, name: str) -> None:
+        super().begin_phase(name)
+        self._pool_restarts_phase = 0
 
     # -- shared-array plane -------------------------------------------------------
 
@@ -256,6 +311,24 @@ class ProcessBackend(ExecutionBackend):
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _kill_pool(self) -> None:
+        """Hard-kill every pool worker (hung-task reclamation).
+
+        Unlike threads, processes *can* be reclaimed: SIGKILL the
+        workers, abandon the executor without waiting, and let the next
+        ``_ensure_pool`` start a fresh generation. Shared segments stay
+        alive — the parent owns them.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def close(self) -> None:
         self._close_pool()
         if self._plane is not None:
@@ -275,7 +348,11 @@ class ProcessBackend(ExecutionBackend):
         detail = str(cause).strip() if cause is not None else ""
         if detail:
             context += f": {detail}"
-        return BrokenProcessPool(context)
+        error = BrokenProcessPool(context)
+        # Marks the error as already carrying the diagnostic context, so
+        # outer handlers do not wrap it a second time.
+        error._repro_diagnosed = True  # type: ignore[attr-defined]
+        return error
 
     # -- execution ---------------------------------------------------------------
 
@@ -293,12 +370,23 @@ class ProcessBackend(ExecutionBackend):
         self.ipc.record_task(len(payload))
         return pool.submit(run_pickled_chunk, payload)
 
-    def _gather_pickled(self, futures) -> list:
-        """Collect trampoline futures in order, accounting result bytes.
+    def _absorb_blob(self, blob) -> list:
+        """Account one trampoline return value; unpickle its results.
 
         Traced futures return ``(results_blob, span_blob)``; the span is
         handed to the recorder and its bytes billed to the separate span
         counter, so result-byte accounting is identical traced or not.
+        """
+        if isinstance(blob, tuple):
+            blob, span_blob = blob
+            self.ipc.record_span_payload(len(span_blob))
+            self.spans.record_worker_span(pickle.loads(span_blob))
+        self.ipc.record_result(len(blob))
+        return pickle.loads(blob)
+
+    def _gather_pickled(self, futures) -> list:
+        """Collect trampoline futures in order, accounting result bytes.
+
         If any chunk raises, every future that has not started yet is
         cancelled before the exception propagates — a poisoned chunk must
         not leave the chunks submitted after it running.
@@ -306,20 +394,214 @@ class ProcessBackend(ExecutionBackend):
         results: list = []
         try:
             for future in futures:
-                blob = future.result()
-                if isinstance(blob, tuple):
-                    blob, span_blob = blob
-                    self.ipc.record_span_payload(len(span_blob))
-                    self.spans.record_worker_span(pickle.loads(span_blob))
-                self.ipc.record_result(len(blob))
-                results.extend(pickle.loads(blob))
+                results.extend(self._absorb_blob(future.result()))
         except BaseException:
             for future in futures:
                 future.cancel()
             raise
         return results
 
-    def map(self, fn, items, *, grain=None):
+    # -- hardened execution -------------------------------------------------------
+
+    def _task_payload(self, fn, chunk, task_id: int, phase: str, attempt: int):
+        """Pickle one task; returns ``(payload, trampoline)``.
+
+        First-attempt tasks with no planned fault keep the legacy payload
+        shapes byte-for-byte; the optional ``(fault, attempt)`` tail is
+        appended only when it carries information.
+        """
+        fault = None
+        if self.fault_plan is not None:
+            spec = self.fault_plan.spec_for(phase, task_id)
+            if spec is not None:
+                fault = (spec, self.fault_plan.state_dir)
+        extra = (fault, attempt) if (fault is not None or attempt > 1) else ()
+        if self.spans.enabled:
+            base = (fn, chunk, task_id, phase, self.spans.now())
+            return pickle.dumps(base + extra), run_pickled_chunk_traced
+        return pickle.dumps((fn, chunk) + extra), run_pickled_chunk
+
+    def _submit_task(self, pool, task: _ChunkTask, *, resubmit: bool = False) -> None:
+        payload, target = self._task_payload(
+            task.fn, task.chunk, task.task_id, task.phase, task.attempt
+        )
+        self._last_task = task.key
+        if resubmit:
+            # Re-executions of any cause — retry, crash replay, bisection
+            # probe — bill their pickle bytes to the recovery counters.
+            self.ipc.record_retry(len(payload))
+        else:
+            self.ipc.record_task(len(payload))
+        task.future = pool.submit(target, payload)
+
+    @staticmethod
+    def _cancel_unfinished(tasks) -> None:
+        for task in tasks:
+            if task.results is None and task.future is not None:
+                task.future.cancel()
+
+    def _recover_pool(self, tasks, cause: BaseException) -> None:
+        """Respawn after a pool death (or hung-worker kill); replay what
+        did not finish.
+
+        Completed chunks keep their results (harvested from done futures
+        before the executor is dropped); only in-flight chunks are
+        resubmitted, at their current attempt — a pool death is the
+        pool's fault, not the task's. Shared segments were never
+        unlinked, so respawned workers re-attach through the same
+        descriptors in the unchanged initargs. Bounded per phase by the
+        ``max_pool_restarts`` circuit breaker.
+        """
+        self._pool_restarts_phase += 1
+        if self._pool_restarts_phase > self.resilience.max_pool_restarts:
+            raise self._broken(cause) from cause
+        self.ipc.record_pool_restart()
+        for task in tasks:
+            if task.results is None and task.future is not None and task.future.done():
+                try:
+                    blob = task.future.result(timeout=0)
+                except Exception:
+                    continue
+                task.results = self._absorb_blob(blob)
+        self._close_pool()
+        pool = self._ensure_pool()
+        for task in tasks:
+            if task.results is None:
+                self._submit_task(pool, task, resubmit=True)
+
+    def _run_chunk_sync(self, task: _ChunkTask, sub: list) -> list:
+        """One bisection probe through the pool, synchronously.
+
+        Probes must run on *workers* — kernels depend on per-worker state
+        installed by ``configure`` that the parent never runs — and their
+        pickle bytes are recovery overhead, billed like retries.
+        """
+        cfg = self.resilience
+
+        def thunk(attempt: int) -> list:
+            pool = self._ensure_pool()
+            payload, target = self._task_payload(
+                task.fn, sub, task.task_id, task.phase, attempt
+            )
+            self.ipc.record_retry(len(payload))
+            future = pool.submit(target, payload)
+            try:
+                return self._absorb_blob(future.result(timeout=self._wait_timeout()))
+            except FutureTimeoutError:
+                self.ipc.record_timeout()
+                self._kill_pool()
+                raise TaskTimeoutError(
+                    f"bisection probe for task {task.key} exceeded its "
+                    "deadline; worker killed"
+                ) from None
+            except BrokenProcessPool as exc:
+                self._pool_restarts_phase += 1
+                if self._pool_restarts_phase > cfg.max_pool_restarts:
+                    raise self._broken(exc) from exc
+                self.ipc.record_pool_restart()
+                self._close_pool()
+                raise
+
+        return run_attempts(cfg.retry, task.key, thunk)
+
+    def _bisect_poisoned(self, task: _ChunkTask, exc: Exception, bisect_items: bool):
+        def on_poisoned(index, sub_start, n_units, leaf_exc):
+            self._note_quarantined(
+                task.phase, task.key, index, sub_start, n_units, leaf_exc
+            )
+
+        return bisect_chunk(
+            task.chunk,
+            lambda sub: self._run_chunk_sync(task, sub),
+            on_poisoned,
+            item_index=task.item_index,
+            bisect_items=bisect_items,
+            failed_exc=exc,
+        )
+
+    def _collect(self, tasks, bisect_items: bool) -> list:
+        """Hardened ordered gather: retry, replay, reclaim, quarantine.
+
+        Worker-raised exceptions consume the task's retry budget; pool
+        deaths and hung-worker kills do not (they are bounded by the
+        restart breaker instead). A task that exhausts its budget either
+        raises (default) or is bisected into quarantined leaves.
+        """
+        cfg = self.resilience
+        position = 0
+        while position < len(tasks):
+            task = tasks[position]
+            if task.results is not None:
+                position += 1
+                continue
+            try:
+                self._check_phase_deadline(task.phase)
+                blob = task.future.result(timeout=self._wait_timeout())
+            except FutureTimeoutError:
+                try:
+                    self._check_phase_deadline(task.phase)
+                except PhaseTimeoutError:
+                    self._kill_pool()
+                    raise
+                self.ipc.record_timeout()
+                self._kill_pool()
+                if cfg.retry.gives_up_after(task.attempt):
+                    raise TaskTimeoutError(
+                        f"task {task.key} exceeded its "
+                        f"{cfg.task_timeout_s:.3f}s deadline on backend "
+                        f"{self.name!r} (attempt {task.attempt}); worker killed"
+                    ) from None
+                task.attempt += 1
+                self._recover_pool(
+                    tasks, TaskTimeoutError(f"hung task {task.key}; worker killed")
+                )
+                continue
+            except PhaseTimeoutError:
+                self._cancel_unfinished(tasks)
+                raise
+            except BrokenProcessPool as exc:
+                self._recover_pool(tasks, exc)
+                continue
+            except Exception as exc:
+                if cfg.retry.is_retryable(exc) and not cfg.retry.gives_up_after(
+                    task.attempt
+                ):
+                    delay = cfg.retry.backoff_s(task.key, task.attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    task.attempt += 1
+                    self._submit_task(self._ensure_pool(), task, resubmit=True)
+                    continue
+                exc.attempts = task.attempt  # type: ignore[attr-defined]
+                if not cfg.quarantining:
+                    self._cancel_unfinished(tasks)
+                    raise
+                task.results = self._bisect_poisoned(task, exc, bisect_items)
+                position += 1
+                continue
+            task.results = self._absorb_blob(blob)
+            position += 1
+        return [result for task in tasks for result in task.results]
+
+    def _run_resilient(self, fn, chunks, bisect_items: bool) -> list:
+        """Submit ``(item_index, chunk)`` tasks; gather with the policy."""
+        phase = self.ipc.phase
+        tasks: list[_ChunkTask] = []
+        try:
+            pool = self._ensure_pool()
+            for item_index, chunk in chunks:
+                task = _ChunkTask(
+                    fn, chunk, item_index, self._next_task_id(phase), phase
+                )
+                self._submit_task(pool, task)
+                tasks.append(task)
+            return self._collect(tasks, bisect_items)
+        except BrokenProcessPool as exc:
+            if getattr(exc, "_repro_diagnosed", False):
+                raise
+            raise self._broken(exc) from exc
+
+    def map(self, fn, items, *, grain=None, bisect_items=False):
         items = _as_list(items)
         if not items:
             return []
@@ -327,6 +609,12 @@ class ProcessBackend(ExecutionBackend):
             grain = auto_grain(len(items), self.workers)
         if grain < 1:
             raise ConfigurationError(f"grain must be >= 1, got {grain}")
+        if self._resilient:
+            chunks = (
+                (start, items[start : start + grain])
+                for start in range(0, len(items), grain)
+            )
+            return self._run_resilient(fn, chunks, bisect_items)
         pool = self._ensure_pool()
         futures = [
             self._submit_chunk(pool, fn, items[start : start + grain])
@@ -337,7 +625,7 @@ class ProcessBackend(ExecutionBackend):
         except BrokenProcessPool as exc:
             raise self._broken(exc) from exc
 
-    def map_stream(self, fn, items, *, grain=None):
+    def map_stream(self, fn, items, *, grain=None, bisect_items=False):
         """Micro-batched streaming map: one pickled task per *batch*.
 
         Items are grouped into batches of ``grain`` as the producer
@@ -350,6 +638,20 @@ class ProcessBackend(ExecutionBackend):
             grain = auto_grain(_STREAM_WINDOW, self.workers)
         if grain < 1:
             raise ConfigurationError(f"grain must be >= 1, got {grain}")
+        if self._resilient:
+            def batches():
+                offset = 0
+                batch: list = []
+                for item in items:
+                    batch.append(item)
+                    if len(batch) >= grain:
+                        yield offset, batch
+                        offset += len(batch)
+                        batch = []
+                if batch:
+                    yield offset, batch
+
+            return self._run_resilient(fn, batches(), bisect_items)
         pool = self._ensure_pool()
         futures: list = []
         try:
@@ -371,22 +673,26 @@ class ProcessBackend(ExecutionBackend):
 
 
 def make_backend(
-    name: str, workers: int = 1, shm: bool | None = None
+    name: str,
+    workers: int = 1,
+    shm: bool | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> ExecutionBackend:
     """Build a backend from its CLI name (one of :data:`BACKEND_CHOICES`).
 
     ``shm`` applies to the process backend (``None`` = use it where
     available); the in-process backends share an address space, so for
-    them the flag is a no-op by construction. Singular spellings
-    (``process``, ``thread``) are accepted as aliases.
+    them the flag is a no-op by construction. ``resilience`` installs a
+    fault-tolerance policy (default: fail fast, the seed behavior).
+    Singular spellings (``process``, ``thread``) are accepted as aliases.
     """
     name = _BACKEND_ALIASES.get(name, name)
     if name == "sequential":
-        return SequentialBackend()
+        return SequentialBackend(resilience)
     if name == "threads":
-        return ThreadBackend(workers)
+        return ThreadBackend(workers, resilience)
     if name == "processes":
-        return ProcessBackend(workers, shm=shm)
+        return ProcessBackend(workers, shm=shm, resilience=resilience)
     raise ConfigurationError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKEND_CHOICES)}"
     )

@@ -34,8 +34,12 @@ Segments are named ``repro_shm_<pid>_<n>`` so tests can scan for leaks.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import os
+import signal
+import threading
+import weakref
 from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
@@ -134,6 +138,18 @@ class PhaseIpc:
     broadcasts: int = 0
     #: Bytes written into broadcast buffers (not pickled).
     broadcast_buffer_bytes: int = 0
+    #: Task re-executions (retry after a transient failure, or replay of
+    #: an in-flight chunk after a pool death).
+    retries: int = 0
+    #: Bytes re-pickled into retried/replayed task payloads (kept out of
+    #: ``task_pickle_bytes`` so first-attempt accounting stays honest).
+    retry_pickle_bytes: int = 0
+    #: Per-task deadlines that expired (each costs a pool restart).
+    timeouts: int = 0
+    #: Worker-pool respawns after a crash or hang.
+    pool_restarts: int = 0
+    #: Map items (or isolated slices of items) quarantined as poisoned.
+    quarantined: int = 0
 
     def add(self, other: "PhaseIpc") -> None:
         for spec in dataclass_fields(self):
@@ -205,6 +221,20 @@ class IpcStats:
         bucket = self._current()
         bucket.broadcasts += 1
         bucket.broadcast_buffer_bytes += buffer_bytes
+
+    def record_retry(self, pickle_bytes: int) -> None:
+        bucket = self._current()
+        bucket.retries += 1
+        bucket.retry_pickle_bytes += pickle_bytes
+
+    def record_timeout(self) -> None:
+        self._current().timeouts += 1
+
+    def record_pool_restart(self) -> None:
+        self._current().pool_restarts += 1
+
+    def record_quarantined(self, n_items: int = 1) -> None:
+        self._current().quarantined += n_items
 
     # -- reading ---------------------------------------------------------------
 
@@ -533,18 +563,80 @@ class ShmBroadcast:
             _release_segment(shm)
 
 
+#: Planes whose segments must be unlinked if the owning process dies by
+#: SIGTERM (or plain interpreter exit) before ``close()`` ran. Weak so a
+#: normally-closed, garbage-collected plane does not pin itself here.
+_LIVE_PLANES: "weakref.WeakSet[ShmPlane]" = weakref.WeakSet()
+
+_CLEANUP_INSTALLED = False
+
+
+def _cleanup_live_planes() -> None:
+    """Unlink every live plane owned by *this* process.
+
+    The pid guard matters under ``fork``: worker processes inherit the
+    registry (and the signal handler) copy-on-write, and must never
+    unlink segments the parent is still serving.
+    """
+    for plane in list(_LIVE_PLANES):
+        if plane.owner_pid == os.getpid():
+            plane.close()
+
+
+def _install_plane_cleanup() -> None:
+    """Arm atexit + SIGTERM cleanup, once, on first plane creation.
+
+    A run killed by SIGTERM mid-pipeline used to leak its ``/dev/shm``
+    segments — ``close()`` only runs on orderly unwinding, and SIGTERM's
+    default disposition skips Python entirely. The handler unlinks every
+    live segment and then re-delivers the signal with the previous
+    disposition restored, so exit status and any outer handler behave
+    exactly as before. Installed lazily so merely importing this module
+    never hijacks a host application's signal handling; skipped silently
+    off the main thread, where CPython forbids ``signal.signal``.
+    """
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_cleanup_live_planes)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_sigterm(signum, frame):
+            _cleanup_live_planes()
+            if callable(previous):
+                previous(signum, frame)
+                return
+            # Restore the prior (default/ignore) disposition and
+            # re-deliver, so the process still dies "by SIGTERM".
+            signal.signal(signum, previous if previous is not None else signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - restricted platforms
+        pass
+
+
 class ShmPlane:
     """Every segment one backend created, so close-time cleanup is total.
 
     Handles are also returned to the operators that placed them (for
     early, per-phase release); the plane's ``close()`` is the backstop
     that runs on ``backend.close()`` — including the ``BrokenProcessPool``
-    path — and unlinking twice is safe.
+    path — and unlinking twice is safe. Creation also registers the plane
+    for atexit/SIGTERM cleanup, so a run killed mid-flight cannot leak
+    ``/dev/shm`` entries either.
     """
 
     def __init__(self, stats: IpcStats | None = None) -> None:
         self._stats = stats
         self._handles: list = []
+        self.owner_pid = os.getpid()
+        _install_plane_cleanup()
+        _LIVE_PLANES.add(self)
 
     def place(self, tag: str, arrays: dict[str, np.ndarray]) -> ShmArrays:
         handle = ShmArrays(tag, arrays, stats=self._stats)
@@ -560,3 +652,4 @@ class ShmPlane:
         handles, self._handles = self._handles, []
         for handle in handles:
             handle.close()
+        _LIVE_PLANES.discard(self)

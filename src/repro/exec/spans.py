@@ -74,6 +74,9 @@ class TaskSpan:
     in_bytes: int = 0
     out_bytes: int = 0
     queue_s: float = 0.0
+    #: 1-based execution attempt; > 1 marks a retry (or a replay after a
+    #: worker-pool respawn), so recoveries are visible in the trace.
+    attempt: int = 1
 
     @property
     def duration_s(self) -> float:
@@ -177,6 +180,7 @@ class SpanRecorder:
         in_bytes: int = 0,
         out_bytes: int = 0,
         queue_s: float = 0.0,
+        attempt: int = 1,
     ) -> None:
         """Append one span (no-op while disarmed).
 
@@ -203,6 +207,7 @@ class SpanRecorder:
                     in_bytes=in_bytes,
                     out_bytes=out_bytes,
                     queue_s=max(0.0, queue_s),
+                    attempt=max(1, attempt),
                 )
             )
 
@@ -210,11 +215,13 @@ class SpanRecorder:
         """Ingest a span tuple a pool worker piggy-backed on its result.
 
         ``raw`` is ``(phase, task_id, pid, t_start, t_end, n_items,
-        in_bytes, out_bytes, queue_s)`` with times already on the
-        parent's timeline (the worker re-based them against the
-        exchanged epoch).
+        in_bytes, out_bytes, queue_s[, attempt])`` with times already on
+        the parent's timeline (the worker re-based them against the
+        exchanged epoch); the trailing attempt defaults to 1 for
+        first-execution spans.
         """
-        phase, task_id, pid, t_start, t_end, n_items, in_b, out_b, queue_s = raw
+        phase, task_id, pid, t_start, t_end, n_items, in_b, out_b, queue_s = raw[:9]
+        attempt = raw[9] if len(raw) > 9 else 1
         self.record(
             t_start,
             t_end,
@@ -225,6 +232,7 @@ class SpanRecorder:
             in_bytes=in_b,
             out_bytes=out_b,
             queue_s=queue_s,
+            attempt=attempt,
         )
 
     # -- reading -----------------------------------------------------------------
@@ -425,6 +433,7 @@ class RunTrace:
                         "in_bytes": span.in_bytes,
                         "out_bytes": span.out_bytes,
                         "queue_ms": round(span.queue_s * 1e3, 3),
+                        "attempt": span.attempt,
                     },
                 }
             )

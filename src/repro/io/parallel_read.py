@@ -32,9 +32,11 @@ import itertools
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError, StorageError
+from repro.exec.resilience import RetryPolicy, run_attempts
 from repro.exec.spans import SpanRecorder
 from repro.exec.task import TaskCost
 from repro.io.corpus_io import corpus_paths
@@ -72,6 +74,7 @@ def read_paths(
     workers: int = 1,
     prefetch: int | None = None,
     recorder: SpanRecorder | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Iterator[tuple[str, str, TaskCost]]:
     """Yield ``(path, contents, cost)`` for every path, in input order.
 
@@ -80,12 +83,17 @@ def read_paths(
     in flight — submitted to the pool but not yet delivered — and defaults
     to :func:`default_prefetch`. When ``recorder`` is an armed
     :class:`~repro.exec.spans.SpanRecorder`, each file read is captured as
-    a ``read``-phase span on the thread that performed it.
+    a ``read``-phase span on the thread that performed it. A ``retry``
+    policy re-reads a file whose read failed with a *transient*
+    :class:`OSError` (deterministic backoff, per the policy); a read that
+    exhausts the budget raises :class:`~repro.errors.StorageError` naming
+    the failing path. Missing files (:class:`StorageError` from the
+    storage itself) stay eager — they are not transient.
     """
     if workers < 1:
         raise ConfigurationError(f"read workers must be >= 1, got {workers}")
     paths = list(paths)
-    read = _reader(storage, recorder)
+    read = _reader(storage, recorder, retry)
     if workers == 1:
         for path in paths:
             text, cost = read(path)
@@ -98,25 +106,53 @@ def read_paths(
     yield from _read_overlapped(read, paths, workers, prefetch)
 
 
-def _reader(storage: Storage, recorder: SpanRecorder | None):
-    """Plain ``storage.read``, or a wrapper that records one span per file."""
+def _reader(
+    storage: Storage,
+    recorder: SpanRecorder | None,
+    retry: RetryPolicy | None = None,
+):
+    """Plain ``storage.read``, or a wrapper that records one span per file.
+
+    With a ``retry`` policy, the read is additionally hardened against
+    transient :class:`OSError` (EIO, EAGAIN, a flaky network mount): it is
+    re-attempted under the policy's deterministic backoff, and exhaustion
+    surfaces as a :class:`StorageError` that names the failing path and
+    the attempt count. Only ``OSError`` is retried — a
+    :class:`StorageError` from the storage itself (missing file) is a
+    *permanent* condition and stays eager.
+    """
     if recorder is None or not recorder.enabled:
-        return storage.read
+        base = storage.read
+    else:
 
-    def traced_read(path: str) -> tuple[str, TaskCost]:
-        t_start = recorder.now()
-        text, cost = storage.read(path)
-        recorder.record(
-            t_start,
-            recorder.now(),
-            phase=_READ_PHASE,
-            task_id=recorder.next_task_id(_READ_PHASE),
-            n_items=1,
-            out_bytes=len(text),
-        )
-        return text, cost
+        def traced_read(path: str) -> tuple[str, TaskCost]:
+            t_start = recorder.now()
+            text, cost = storage.read(path)
+            recorder.record(
+                t_start,
+                recorder.now(),
+                phase=_READ_PHASE,
+                task_id=recorder.next_task_id(_READ_PHASE),
+                n_items=1,
+                out_bytes=len(text),
+            )
+            return text, cost
 
-    return traced_read
+        base = traced_read
+    if retry is None or not retry.enabled:
+        return base
+    io_retry = replace(retry, retryable_exceptions=(OSError,))
+
+    def resilient_read(path: str) -> tuple[str, TaskCost]:
+        try:
+            return run_attempts(io_retry, f"read:{path}", lambda attempt: base(path))
+        except OSError as exc:
+            attempts = getattr(exc, "attempts", 1)
+            raise StorageError(
+                f"read of {path!r} failed after {attempts} attempt(s): {exc}"
+            ) from exc
+
+    return resilient_read
 
 
 def _read_overlapped(
@@ -183,6 +219,7 @@ class DocumentStream:
         workers: int = 1,
         prefetch: int | None = None,
         name: str = "corpus",
+        retry: RetryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"read workers must be >= 1, got {workers}")
@@ -191,6 +228,9 @@ class DocumentStream:
         self.workers = workers
         self.prefetch = prefetch if prefetch is not None else default_prefetch(workers)
         self.name = name
+        #: Optional :class:`~repro.exec.resilience.RetryPolicy` for
+        #: transient read failures (see :func:`read_paths`).
+        self.retry = retry
         self.total_cost = TaskCost()
         self.wait_seconds = 0.0
         self.bytes_read = 0
@@ -229,6 +269,7 @@ class DocumentStream:
             workers=self.workers,
             prefetch=self.prefetch,
             recorder=self.spans,
+            retry=self.retry,
         )
         try:
             doc_id = 0
@@ -260,6 +301,7 @@ def corpus_stream(
     workers: int = 1,
     prefetch: int | None = None,
     name: str = "corpus",
+    retry: RetryPolicy | None = None,
 ) -> DocumentStream:
     """Stream every document stored under ``prefix``, in name order.
 
@@ -273,4 +315,5 @@ def corpus_stream(
         workers=workers,
         prefetch=prefetch,
         name=name,
+        retry=retry,
     )

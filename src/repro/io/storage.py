@@ -63,6 +63,7 @@ class Storage(ABC):
         workers: int = 1,
         prefetch: int | None = None,
         recorder=None,
+        retry=None,
     ) -> Iterator[tuple[str, str, "TaskCost"]]:
         """Read many files concurrently; yield ``(path, contents, cost)``.
 
@@ -70,13 +71,19 @@ class Storage(ABC):
         metered for the simulator; ``workers`` reader threads keep at most
         ``prefetch`` files in flight (paper §3.2's parallel input). An armed
         :class:`~repro.exec.spans.SpanRecorder` passed as ``recorder``
-        captures one span per file. See
-        :func:`repro.io.parallel_read.read_paths`.
+        captures one span per file; a ``retry``
+        :class:`~repro.exec.resilience.RetryPolicy` re-attempts transient
+        ``OSError`` reads. See :func:`repro.io.parallel_read.read_paths`.
         """
         from repro.io.parallel_read import read_paths
 
         return read_paths(
-            self, paths, workers=workers, prefetch=prefetch, recorder=recorder
+            self,
+            paths,
+            workers=workers,
+            prefetch=prefetch,
+            recorder=recorder,
+            retry=retry,
         )
 
     def read_data(self, path: str) -> str:

@@ -385,17 +385,33 @@ class TfIdfOperator:
                 entry_lists[at : at + grain]
                 for at in range(0, len(entry_lists), grain)
             ]
+            quarantined_before = len(backend.quarantine.items)
             try:
+                # ``bisect_items`` lets quarantine mode isolate a single
+                # poisoned document inside a chunk of entry lists.
                 rows = [
                     row
                     for chunk_rows in backend.map(
-                        kernels.transform_chunk, chunks, grain=1
+                        kernels.transform_chunk, chunks, grain=1,
+                        bisect_items=True,
                     )
                     for row in chunk_rows
                 ]
             finally:
                 if shared is not None:
                     shared.close()
+            # Quarantine coordinates → document indices: map item i is
+            # ``chunks[i]``, which starts at document ``i * grain``.
+            new_items = backend.quarantine.items[quarantined_before:]
+            if new_items:
+                backend.quarantine.note_docs(
+                    doc
+                    for item in new_items
+                    for doc in range(
+                        item.item_index * grain + item.sub_start,
+                        item.item_index * grain + item.sub_start + item.n_units,
+                    )
+                )
         return TfIdfResult(
             matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
             vocabulary=vocabulary,

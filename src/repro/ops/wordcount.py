@@ -311,6 +311,7 @@ class WordCountStep:
         )
         paths: list[str] = []
         input_bytes = 0
+        chunk_starts: list[int] = []
 
         def chunked():
             nonlocal input_bytes
@@ -320,14 +321,34 @@ class WordCountStep:
                 input_bytes += len(text)
                 chunk.append(text)
                 if len(chunk) >= grain:
+                    chunk_starts.append(len(paths) - len(chunk))
                     yield chunk
                     chunk = []
             if chunk:
+                chunk_starts.append(len(paths) - len(chunk))
                 yield chunk
 
         # Items are already grain-sized chunks — grain=1 stops the process
         # backend's stream micro-batching from batching them again.
-        parts = backend.map_stream(kernels.count_chunk, chunked(), grain=1)
+        # ``bisect_items`` lets quarantine mode split *inside* a chunk, so
+        # one poisoned document is isolated, not its whole chunk.
+        quarantined_before = len(backend.quarantine.items)
+        parts = backend.map_stream(
+            kernels.count_chunk, chunked(), grain=1, bisect_items=True
+        )
+
+        # Translate quarantine coordinates (chunk ordinal + offset inside
+        # the chunk) into document indices, and drop those documents from
+        # the path list so it stays aligned with the surviving TFs.
+        new_items = backend.quarantine.items[quarantined_before:]
+        if new_items:
+            dropped: list[int] = []
+            for item in new_items:
+                base = chunk_starts[item.item_index] + item.sub_start
+                dropped.extend(range(base, base + item.n_units))
+            backend.quarantine.note_docs(dropped)
+            dropped_set = set(dropped)
+            paths = [p for i, p in enumerate(paths) if i not in dropped_set]
 
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []

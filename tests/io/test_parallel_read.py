@@ -293,3 +293,81 @@ class TestMidRunFailureCleanup:
         with pytest.raises(RuntimeError, match="kmeans exploded"):
             run_pipeline(stream, tfidf=TfIdfOperator(), kmeans=BoomKMeans())
         _assert_no_reader_threads()
+
+
+class FlakyStorage(MemStorage):
+    """Raises transient OSError on the first ``failures`` reads per path."""
+
+    def __init__(self, failures=2, flaky_paths=None):
+        super().__init__()
+        self.failures = failures
+        self.flaky_paths = flaky_paths
+        self.attempts = {}
+        self._lock = threading.Lock()
+
+    def read(self, path):
+        with self._lock:
+            seen = self.attempts.get(path, 0)
+            self.attempts[path] = seen + 1
+        flaky = self.flaky_paths is None or path in self.flaky_paths
+        if flaky and seen < self.failures:
+            raise OSError(5, "simulated transient I/O error", path)
+        return super().read(path)
+
+
+class TestReaderRetry:
+    """Reader threads absorb transient OSError under a retry policy."""
+
+    def _retry(self, attempts=3):
+        from repro.exec.resilience import RetryPolicy
+
+        return RetryPolicy(max_attempts=attempts, backoff_base_s=0.0)
+
+    def test_transient_oserror_is_absorbed(self):
+        storage = FlakyStorage(failures=2, flaky_paths={"doc-003.txt"})
+        paths = _populate(storage)
+        triples = list(
+            read_paths(storage, paths, workers=3, retry=self._retry())
+        )
+        assert [p for p, _, _ in triples] == paths
+        assert storage.attempts["doc-003.txt"] == 3
+        assert [t for _, t, _ in triples] == [storage.read_data(p) for p in paths]
+
+    def test_exhaustion_names_the_failing_path(self):
+        storage = FlakyStorage(failures=99, flaky_paths={"doc-001.txt"})
+        paths = _populate(storage, n=4)
+        with pytest.raises(StorageError, match=r"doc-001\.txt.*3 attempt"):
+            list(read_paths(storage, paths, workers=2, retry=self._retry(3)))
+        assert storage.attempts["doc-001.txt"] == 3
+
+    def test_missing_file_stays_eager(self):
+        # StorageError from the storage itself is permanent: no retries.
+        storage = CountingStorage()
+        _populate(storage, n=2)
+        with pytest.raises(StorageError):
+            list(
+                read_paths(
+                    storage,
+                    ["doc-000.txt", "nope.txt"],
+                    workers=1,
+                    retry=self._retry(5),
+                )
+            )
+        assert storage.started <= 2  # no re-reads of the missing path
+
+    def test_stream_passes_retry_through(self):
+        storage = FlakyStorage(failures=1)
+        paths = _populate(storage, n=8)
+        stream = DocumentStream(
+            storage, paths, workers=2, retry=self._retry()
+        )
+        corpus = [doc for doc in stream]
+        assert len(corpus) == 8
+        # Every path failed once and was re-read.
+        assert all(storage.attempts[p] == 2 for p in paths)
+
+    def test_without_policy_transient_error_is_fatal(self):
+        storage = FlakyStorage(failures=1)
+        paths = _populate(storage, n=4)
+        with pytest.raises(OSError):
+            list(read_paths(storage, paths, workers=2))

@@ -13,6 +13,12 @@ trajectory:
   × worker counts, recording per-phase IPC accounting (bytes pickled,
   segments, broadcasts) — the counters that show the zero-copy win even
   where wall-clock deltas are noise.
+* ``--mode faults`` injects deterministic faults (transient exceptions, a
+  worker crash, a poisoned task) under a retry policy and records the
+  recovery bill: re-executed tasks, pool restarts, quarantined documents,
+  and wall-clock overhead versus a fault-free run. Recovered runs must be
+  bit-identical; the quarantine run must differ by exactly its
+  quarantined rows.
 
 Usage::
 
@@ -44,6 +50,7 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.bench.wallclock import (  # noqa: E402
     DEFAULT_READ_WORKER_SWEEP,
     DEFAULT_WORKER_SWEEP,
+    bench_fault_recovery,
     bench_ipc_sweep,
     bench_read_sweep,
     bench_wallclock,
@@ -65,11 +72,12 @@ def _write(out: str, record: dict, append: bool) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["backends", "read", "ipc"],
+    parser.add_argument("--mode", choices=["backends", "read", "ipc", "faults"],
                         default="backends",
                         help="sweep compute backends, read-worker counts "
-                        "over an on-disk corpus (paper §3.2), or the "
-                        "shared-memory plane on/off with IPC accounting")
+                        "over an on-disk corpus (paper §3.2), the "
+                        "shared-memory plane on/off with IPC accounting, "
+                        "or fault-injection recovery scenarios")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -95,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--kmeans-iters", type=int, default=5)
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="retry budget per task for --mode faults")
+    parser.add_argument("--fault-workers", type=int, default=2,
+                        help="process workers for --mode faults")
     parser.add_argument("--out", default=os.path.join(REPO, "BENCH_wallclock.json"))
     parser.add_argument("--append", action="store_true",
                         help="append the record to --out (JSON list) "
@@ -112,7 +124,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.compute_workers is None:
             args.compute_workers = 2
 
-    if args.mode == "ipc":
+    if args.mode == "faults":
+        record = bench_fault_recovery(
+            profile=args.profile,
+            scale=args.scale,
+            workers=args.fault_workers,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+            max_attempts=args.max_attempts,
+        )
+    elif args.mode == "ipc":
         record = bench_ipc_sweep(
             profile=args.profile,
             scale=args.scale,
@@ -149,7 +171,19 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "ipc":
+    if args.mode == "faults":
+        header = (f"{'scenario':>18} {'total_s':>9} {'overhead':>9} "
+                  f"{'fired':>6} {'retries':>8} {'restarts':>9} "
+                  f"{'quarantined':>11} ok")
+        print(header)
+        for run in record["runs"]:
+            rec = run["recovery"]
+            print(f"{run['scenario']:>18} {run['total_s']:>9.3f} "
+                  f"{run['overhead_vs_baseline']:>8.2f}x "
+                  f"{run['faults_fired']:>6} {rec['retries']:>8} "
+                  f"{rec['pool_restarts']:>9} {rec['quarantined']:>11} "
+                  f"{'yes' if run['ok'] else 'NO'}")
+    elif args.mode == "ipc":
         header = (f"{'shm':>5} {'workers':>7} {'total_s':>9} "
                   f"{'task_MB':>9} {'kmeans_B/iter':>13} {'util':>5} identical")
         print(header)
@@ -191,7 +225,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{run['backend']:>12} {run['workers']:>7} "
                   f"{run['total_s']:>9.3f} {run['speedup_vs_sequential']:>8.2f} "
                   f"{'yes' if run['output_identical'] else 'NO'}")
-    if not all(run["output_identical"] for run in record["runs"]):
+    # Fault runs judge themselves via "ok" (the quarantine scenario is
+    # *supposed* to differ, by exactly its quarantined rows); everything
+    # else must be bit-identical.
+    if not all(run.get("ok", run["output_identical"]) for run in record["runs"]):
         print("error: configurations disagree on operator output", file=sys.stderr)
         return 1
     print(f"wrote {args.out}")
