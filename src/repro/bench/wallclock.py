@@ -23,10 +23,18 @@ seconds on the host. It has two modes:
   wall-clock overhead against a fault-free run with the same policy.
   Recovered runs must stay bit-identical to the fault-free baseline;
   quarantine runs must differ by exactly the quarantined documents.
+* :func:`bench_plan` — runs the pipeline under the measured-cost
+  adaptive planner (``plan="auto"``) against hard-coded fixed
+  configurations, and the fused wc→transform path against the unfused
+  one; the planned total must land within :data:`PLAN_TOLERANCE` of the
+  best fixed total, and fusion must eliminate transform task-pickle
+  bytes.
 
-``tools/bench_wallclock.py`` wraps both into a CLI that appends records
+``tools/bench_wallclock.py`` wraps these into a CLI that appends records
 to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
-future perf PR reruns it and appends a comparable record.
+future perf PR reruns it and appends a comparable record. All modes
+share one envelope (``benchmark``/``mode``/``host``/``config``/``runs``),
+enforced by ``tools/validate_bench.py``.
 
 Every run also cross-checks that the operator output (TF/IDF matrix and
 K-means assignments) is identical to the baseline configuration's, so the
@@ -55,6 +63,7 @@ from repro.io.storage import FsStorage
 from repro.ops.kmeans import KMeansOperator
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator
 from repro.ops.wordcount import PHASE_INPUT_WC
+from repro.plan import CalibrationStore, PhasePlan, RealPlan
 from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
 
 __all__ = [
@@ -62,8 +71,10 @@ __all__ = [
     "bench_read_sweep",
     "bench_ipc_sweep",
     "bench_fault_recovery",
+    "bench_plan",
     "DEFAULT_WORKER_SWEEP",
     "DEFAULT_READ_WORKER_SWEEP",
+    "PLAN_TOLERANCE",
 ]
 
 _PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
@@ -115,12 +126,69 @@ def _best_of(
     return best
 
 
+def _floor_of(
+    repeats: int, run_once: Callable[[], RealRunResult], label: str
+) -> tuple[float, RealRunResult, dict[str, float], dict[str, float]]:
+    """:func:`_best_of`, plus each phase's minimum across the repeats.
+
+    Min-of-total needs one run where *every* phase is simultaneously
+    fast — on a loaded 1-CPU host that almost never happens, so two
+    identical configurations can read 30% apart at small scales. The
+    per-phase floor converges much faster and is what the planned-vs-
+    fixed tolerance gate compares; the best single run still supplies
+    the recorded result (phases, output, IPC) so no fields mix repeats.
+    """
+    best: tuple[float, RealRunResult, dict[str, float]] | None = None
+    floors: dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        total, result, phases = _best_of(1, run_once, label)
+        if best is None or total < best[0]:
+            best = (total, result, phases)
+        for phase, value in phases.items():
+            floors[phase] = min(value, floors.get(phase, value))
+    return best[0], best[1], best[2], floors
+
+
 def _host() -> dict:
     return {
         "platform": platform.platform(),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
     }
+
+
+def _envelope(
+    mode: str,
+    profile: str,
+    scale: float,
+    n_docs: int,
+    repeats: int,
+    kmeans_iters: int,
+    config: dict,
+    runs: list[dict],
+    **extras,
+) -> dict:
+    """The uniform record envelope every bench mode appends.
+
+    All modes share ``benchmark="wallclock"`` and are distinguished by
+    ``mode``; backend-side knobs live under ``config``; the sweep's
+    measurements under ``runs``. ``tools/validate_bench.py`` enforces
+    this shape on ``BENCH_wallclock.json``.
+    """
+    record = {
+        "benchmark": "wallclock",
+        "mode": mode,
+        "profile": profile,
+        "scale": scale,
+        "n_docs": n_docs,
+        "repeats": repeats,
+        "kmeans_iters": kmeans_iters,
+        "host": _host(),
+        "config": config,
+        "runs": runs,
+    }
+    record.update(extras)
+    return record
 
 
 def _trace_fields(result: RealRunResult) -> dict:
@@ -205,16 +273,16 @@ def bench_wallclock(
                 }
             )
 
-    return {
-        "benchmark": "wallclock",
-        "profile": profile,
-        "scale": scale,
-        "n_docs": len(corpus),
-        "repeats": repeats,
-        "kmeans_iters": kmeans_iters,
-        "host": _host(),
-        "runs": runs,
-    }
+    return _envelope(
+        "backends", profile, scale, len(corpus), repeats, kmeans_iters,
+        config={
+            "backends": list(backends),
+            "workers": list(workers),
+            "trace": trace,
+            "shm_available": shm_available(),
+        },
+        runs=runs,
+    )
 
 
 def bench_read_sweep(
@@ -298,19 +366,17 @@ def bench_read_sweep(
         if own_dir:
             shutil.rmtree(root, ignore_errors=True)
 
-    return {
-        "benchmark": "wallclock-read",
-        "profile": profile,
-        "scale": scale,
-        "n_docs": n_docs,
-        "backend": backend,
-        "workers": workers,
-        "prefetch": prefetch,
-        "repeats": repeats,
-        "kmeans_iters": kmeans_iters,
-        "host": _host(),
-        "runs": runs,
-    }
+    return _envelope(
+        "read", profile, scale, n_docs, repeats, kmeans_iters,
+        config={
+            "backend": backend,
+            "workers": workers,
+            "prefetch": prefetch,
+            "read_workers": list(read_workers),
+            "shm_available": shm_available(),
+        },
+        runs=runs,
+    )
 
 
 def bench_ipc_sweep(
@@ -383,17 +449,15 @@ def bench_ipc_sweep(
                 }
             )
 
-    return {
-        "benchmark": "wallclock-ipc",
-        "profile": profile,
-        "scale": scale,
-        "n_docs": len(corpus),
-        "repeats": repeats,
-        "kmeans_iters": kmeans_iters,
-        "shm_available": shm_available(),
-        "host": _host(),
-        "runs": runs,
-    }
+    return _envelope(
+        "ipc", profile, scale, len(corpus), repeats, kmeans_iters,
+        config={
+            "workers": list(workers),
+            "shm_modes": list(shm_modes),
+            "shm_available": shm_available(),
+        },
+        runs=runs,
+    )
 
 
 #: Counters that make up one run's recovery bill (from ``PhaseIpc``).
@@ -545,16 +609,237 @@ def bench_fault_recovery(
             }
         )
 
-    return {
-        "benchmark": "wallclock-faults",
-        "profile": profile,
-        "scale": scale,
-        "n_docs": len(corpus),
-        "workers": workers,
-        "repeats": repeats,
-        "kmeans_iters": kmeans_iters,
-        "max_attempts": max_attempts,
-        "shm_available": shm_available(),
-        "host": _host(),
-        "runs": runs,
+    return _envelope(
+        "faults", profile, scale, len(corpus), repeats, kmeans_iters,
+        config={
+            "workers": workers,
+            "max_attempts": max_attempts,
+            "shm": shm,
+            "shm_available": shm_available(),
+        },
+        runs=runs,
+    )
+
+
+#: Planned total may exceed the best fixed configuration's by this much
+#: before ``--mode plan`` fails (wall-clock noise allowance).
+PLAN_TOLERANCE = 0.10
+
+
+def bench_plan(
+    profile: str = "mix",
+    scale: float = 0.01,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+    calibration: CalibrationStore | str | None = None,
+    process_workers: int | None = None,
+    tolerance: float = PLAN_TOLERANCE,
+) -> dict:
+    """Planned execution vs fixed configurations, plus the fusion bill.
+
+    Three comparisons in one record:
+
+    * **planned vs fixed** — the fused pipeline runs on two hard-coded
+      configurations (sequential, and the process backend at
+      ``process_workers``) and once under ``plan="auto"``; the planned
+      run must land within ``tolerance`` of the best fixed
+      configuration. The gate compares each configuration's *phase
+      floor* — the sum over phases of the minimum time across repeats —
+      because phase times are measured identically on both paths (the
+      outer wall clock also bills planning time and pool teardown) and
+      per-phase minima converge on a noisy host where min-of-total does
+      not. Planning time is recorded separately and amortizes across
+      runs with a persisted calibration store; all totals land in the
+      record.
+    * **fused vs unfused IPC** — where shm is available, the fused
+      wc→transform path runs against the unfused one on an identical
+      ``processes-1+shm`` configuration; the fused transform must ship
+      measurably fewer task-pickle bytes (worker-resident intermediates).
+    * **equivalence** — every run's output must be bit-identical to the
+      sequential reference (minus nothing; no quarantine here).
+
+    Each run entry carries ``ok``; the CLI exits nonzero if any is false.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    if process_workers is None:
+        process_workers = max(1, os.cpu_count() or 1)
+    # The tolerance check is a ratio of two small time measurements; a
+    # single sample of each is far too noisy to gate CI on.
+    repeats = max(3, repeats)
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+    if isinstance(calibration, CalibrationStore):
+        store = calibration
+    else:
+        store = CalibrationStore.load_or_probe(calibration, corpus)
+
+    # Pinned operators across every run: the comparison is about
+    # execution configuration, not dictionary choice.
+    def operators() -> tuple[TfIdfOperator, KMeansOperator]:
+        return TfIdfOperator(), KMeansOperator(max_iters=kmeans_iters)
+
+    runs: list[dict] = []
+    reference: RealRunResult | None = None
+
+    def fixed_run(backend_name: str, workers: int, use_shm: bool | None):
+        def run_once() -> RealRunResult:
+            backend = make_backend(backend_name, workers, shm=use_shm)
+            tfidf, kmeans = operators()
+            try:
+                return run_pipeline(
+                    corpus, backend=backend, tfidf=tfidf, kmeans=kmeans
+                )
+            finally:
+                backend.close()
+
+        return run_once
+
+    # Untimed warm-up: the first pipeline run pays one-off costs (imports,
+    # allocator growth, branch warm-up) that would bias whichever
+    # configuration happens to go first in a planned-vs-fixed comparison.
+    fixed_run("sequential", 1, None)()
+
+    fixed_totals: dict[str, float] = {}
+    fixed_phase_totals: dict[str, float] = {}
+    for label, backend_name, workers in (
+        ("sequential", "sequential", 1),
+        (f"processes-{process_workers}", "processes", process_workers),
+    ):
+        total, result, phases, floors = _floor_of(
+            repeats, fixed_run(backend_name, workers, None), label
+        )
+        if reference is None:
+            reference = result
+        identical = result is reference or _matrices_equal(result, reference)
+        fixed_totals[label] = total
+        fixed_phase_totals[label] = sum(floors.values())
+        runs.append(
+            {
+                "config": label,
+                "planned": False,
+                "total_s": total,
+                "phases": phases,
+                "output_identical": identical,
+                "ok": identical,
+                "ipc": result.ipc,
+            }
+        )
+
+    def planned_once() -> RealRunResult:
+        tfidf, kmeans = operators()
+        return run_pipeline(
+            corpus, plan="auto", calibration=store, tfidf=tfidf, kmeans=kmeans
+        )
+
+    planned_total, planned, planned_phases, planned_floors = _floor_of(
+        repeats, planned_once, "planned (auto)"
+    )
+    planned_phase_total = sum(planned_floors.values())
+    best_fixed = min(fixed_phase_totals, key=fixed_phase_totals.get)
+    within = (
+        planned_phase_total <= (1.0 + tolerance) * fixed_phase_totals[best_fixed]
+    )
+    identical = _matrices_equal(planned, reference)
+    runs.append(
+        {
+            "config": "planned",
+            "planned": True,
+            "plan": planned.plan.summary_dict(),
+            "plan_seconds": planned.plan_seconds,
+            "total_s": planned_total,
+            "phases": planned_phases,
+            "output_identical": identical,
+            "ok": identical and within,
+            "ipc": planned.ipc,
+        }
+    )
+    planned_vs_fixed = {
+        "planned_total_s": planned_total,
+        "planned_phase_floor_s": planned_phase_total,
+        "best_fixed_config": best_fixed,
+        "best_fixed_total_s": fixed_totals[best_fixed],
+        "best_fixed_phase_floor_s": fixed_phase_totals[best_fixed],
+        "ratio": planned_phase_total / max(fixed_phase_totals[best_fixed], 1e-9),
+        "tolerance": tolerance,
+        "within_tolerance": within,
     }
+
+    fusion = None
+    if shm_available():
+        unfused_total, unfused, _ = _best_of(
+            repeats, fixed_run("processes", 1, True), "processes-1+shm (unfused)"
+        )
+        unfused_bytes = unfused.ipc["phases"][PHASE_TRANSFORM][
+            "task_pickle_bytes"
+        ]
+
+        fused_plan = RealPlan(
+            phases={
+                PHASE_INPUT_WC: PhasePlan(PHASE_INPUT_WC, "processes", 1, True),
+                PHASE_TRANSFORM: PhasePlan(
+                    PHASE_TRANSFORM, "processes", 1, True,
+                    fused_with_previous=True,
+                ),
+                "kmeans": PhasePlan("kmeans", "processes", 1, True),
+            },
+            calibration=store.describe(),
+            n_docs=len(corpus),
+        )
+
+        def fused_once() -> RealRunResult:
+            tfidf, kmeans = operators()
+            return run_pipeline(
+                corpus, plan=fused_plan, tfidf=tfidf, kmeans=kmeans
+            )
+
+        fused_total, fused, _ = _best_of(
+            repeats, fused_once, "processes-1+shm (fused)"
+        )
+        fused_bytes = fused.ipc["phases"][PHASE_TRANSFORM]["task_pickle_bytes"]
+        fused_identical = _matrices_equal(fused, reference)
+        unfused_identical = _matrices_equal(unfused, reference)
+        fusion = {
+            "config": "processes-1+shm",
+            "unfused_transform_task_bytes": unfused_bytes,
+            "fused_transform_task_bytes": fused_bytes,
+            "eliminated_bytes": unfused_bytes - fused_bytes,
+            "unfused_total_s": unfused_total,
+            "fused_total_s": fused_total,
+            "ok": fused_bytes < unfused_bytes,
+        }
+        runs.append(
+            {
+                "config": "processes-1+shm (unfused)",
+                "planned": False,
+                "total_s": unfused_total,
+                "phases": dict(unfused.phase_seconds),
+                "output_identical": unfused_identical,
+                "ok": unfused_identical,
+                "ipc": unfused.ipc,
+            }
+        )
+        runs.append(
+            {
+                "config": "processes-1+shm (fused)",
+                "planned": True,
+                "total_s": fused_total,
+                "phases": dict(fused.phase_seconds),
+                "output_identical": fused_identical,
+                "ok": fused_identical and fused_bytes < unfused_bytes,
+                "ipc": fused.ipc,
+            }
+        )
+
+    return _envelope(
+        "plan", profile, scale, len(corpus), repeats, kmeans_iters,
+        config={
+            "process_workers": process_workers,
+            "tolerance": tolerance,
+            "calibration": store.describe(),
+            "shm_available": shm_available(),
+        },
+        runs=runs,
+        planned_vs_fixed=planned_vs_fixed,
+        fusion=fusion,
+    )

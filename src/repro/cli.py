@@ -203,8 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assignments file (default: stdout summary only)")
     pipe.add_argument("--arff", default=None,
                       help="also write the TF/IDF scores as ARFF")
-    pipe.add_argument("--dict", dest="dict_kind", default="map",
-                      choices=["map", "unordered_map", "dict"])
+    pipe.add_argument("--dict", dest="dict_kind", default=None,
+                      choices=["map", "unordered_map", "dict"],
+                      help="dictionary implementation (default: map, or "
+                      "the planner's pick under --plan auto)")
     pipe.add_argument("--min-df", type=int, default=1)
     pipe.add_argument("--stopwords", action="store_true")
     pipe.add_argument("--clusters", type=int, default=8)
@@ -221,6 +223,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fall back to a weaker backend (processes -> threads -> "
         "sequential) instead of failing when the worker pool cannot be "
         "kept alive",
+    )
+    pipe.add_argument(
+        "--plan", choices=["fixed", "auto"], default="fixed",
+        help="fixed = run every phase on the --backend given; auto = let "
+        "the measured-cost planner pick each phase's backend, grain, "
+        "dictionary, and wc->transform fusion (see docs/planner.md)",
+    )
+    pipe.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="calibration store for --plan auto (JSON, written back after "
+        "each planned run; default: probe ~2%% of the corpus)",
+    )
+    pipe.add_argument(
+        "--explain-plan", action="store_true",
+        help="with --plan auto, print the rejected candidate "
+        "configurations and the cost terms that sank them",
     )
     _add_backend_args(pipe)
     _add_read_args(pipe)
@@ -336,26 +354,47 @@ def _cmd_pipeline(args) -> int:
     if not len(stream):
         print(f"error: no documents found in {args.input}", file=sys.stderr)
         return 1
-    tfidf = TfIdfOperator(
-        wc_dict_kind=args.dict_kind,
-        tokenizer=Tokenizer(drop_stopwords=args.stopwords),
-        min_df=args.min_df,
-    )
+    auto_plan = args.plan == "auto"
+    tfidf = None
+    if not auto_plan or args.dict_kind or args.stopwords or args.min_df != 1:
+        # Pinned operators: the planner may still pick backends, but the
+        # dictionary choice belongs to the user.
+        tfidf = TfIdfOperator(
+            wc_dict_kind=args.dict_kind or "map",
+            tokenizer=Tokenizer(drop_stopwords=args.stopwords),
+            min_df=args.min_df,
+        )
     kmeans = KMeansOperator(
         n_clusters=args.clusters,
         max_iters=args.max_iters,
         seed=args.seed,
         init=args.init,
     )
-    with _make_cli_backend(args) as backend:
+    if auto_plan:
+        if _cli_resilience(args) is not None:
+            raise ConfigurationError(
+                "retry/timeout/quarantine policies require --plan fixed "
+                "(the fused path cannot replay worker-resident state)"
+            )
         result = run_pipeline(
             stream,
-            backend=backend,
+            plan="auto",
+            calibration=args.calibration,
             tfidf=tfidf,
             kmeans=kmeans,
             trace=args.trace is not None,
             degrade=args.degrade,
         )
+    else:
+        with _make_cli_backend(args) as backend:
+            result = run_pipeline(
+                stream,
+                backend=backend,
+                tfidf=tfidf,
+                kmeans=kmeans,
+                trace=args.trace is not None,
+                degrade=args.degrade,
+            )
 
     if args.arff is not None:
         document = write_sparse_arff(
@@ -371,6 +410,13 @@ def _cmd_pipeline(args) -> int:
     print(f"fused pipeline on backend {result.backend_name} "
           f"({stream.n_read} documents via {args.read_workers} read "
           f"worker(s), {len(result.tfidf.vocabulary)} terms):")
+    if result.plan is not None:
+        print(f"plan: {result.plan.describe()}")
+        print(f"  planned in {result.plan_seconds:.3f}s "
+              f"(calibration: {result.plan.calibration}; "
+              f"predicted {result.plan.predicted_total_s:.3f}s)")
+        if args.explain_plan:
+            print(result.plan.explain())
     for phase, seconds in result.phase_seconds.items():
         print(f"  {phase:>14}: {seconds:9.3f}s")
     print(f"  {'total':>14}: {result.total_s:9.3f}s")

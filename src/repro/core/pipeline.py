@@ -24,13 +24,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
-from repro.exec.process import ProcessBackend
+from repro.exec.process import ProcessBackend, make_backend
 from repro.exec.resilience import DowngradeEvent, QuarantineReport
-from repro.exec.spans import RunTrace
+from repro.exec.spans import RunTrace, SpanRecorder
 from repro.io.parallel_read import DocumentStream
 from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator, TfIdfResult
 from repro.ops.wordcount import PHASE_INPUT_WC
+from repro.plan import AdaptivePlanner, CalibrationStore, RealPlan
 from repro.text.corpus import Corpus
 
 __all__ = ["RealRunResult", "run_pipeline", "PHASE_READ"]
@@ -58,6 +59,12 @@ def _transplant(old: ExecutionBackend, new: ExecutionBackend) -> None:
     new.spans = old.spans
     new.quarantine = old.quarantine
     new._task_counters = old._task_counters
+    # The shm plane captured a stats reference at construction and hands
+    # it to every ShmArrays/ShmBroadcast it creates — rebind it too, or
+    # shm traffic on ``new`` would bill a counter nobody reads.
+    plane = getattr(new, "_plane", None)
+    if plane is not None:
+        plane._stats = old.ipc
 
 #: Phase label for time the pipeline spent blocked on input reads. Only
 #: reported for streamed input (a :class:`DocumentStream`); a materialized
@@ -87,6 +94,14 @@ class RealRunResult:
     #: Backend downgrades performed because ``degrade=True`` absorbed a
     #: dead worker pool, in order.
     downgrades: list[DowngradeEvent] = field(default_factory=list)
+    #: The :class:`~repro.plan.RealPlan` this run executed, when it was
+    #: launched via ``run_pipeline(plan=...)``; ``None`` for fixed-backend
+    #: and inline runs.
+    plan: RealPlan | None = None
+    #: Seconds spent planning (probe + candidate costing), outside
+    #: ``phase_seconds`` — planning is amortized across runs via the
+    #: persisted calibration store, so it is billed separately.
+    plan_seconds: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -101,6 +116,8 @@ def run_pipeline(
     *,
     trace: bool = False,
     degrade: bool = False,
+    plan: RealPlan | str | None = None,
+    calibration: CalibrationStore | str | None = None,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -129,7 +146,27 @@ def run_pipeline(
     :class:`~repro.exec.resilience.DowngradeEvent` on the result. Phase 1
     over *streamed* input cannot be replayed (the stream is partially
     consumed), so there the error still propagates.
+
+    ``plan`` switches to adaptive execution and is mutually exclusive
+    with ``backend``: pass ``"auto"`` to let an
+    :class:`~repro.plan.AdaptivePlanner` pick each phase's configuration
+    from measured cost constants (``calibration`` is then a
+    :class:`~repro.plan.CalibrationStore`, a path to one, or ``None`` to
+    probe the corpus), or pass a prebuilt :class:`~repro.plan.RealPlan`
+    to execute it verbatim. Different phases may run on different
+    backends; one IPC/span/quarantine bill spans them all, and the
+    executed plan is recorded on the result. Planned outputs are
+    bit-identical to every fixed-configuration run.
     """
+    if plan is not None:
+        if backend is not None:
+            raise ConfigurationError(
+                "pass either backend= or plan=, not both"
+            )
+        return _run_planned(
+            corpus, plan, tfidf=tfidf, kmeans=kmeans,
+            trace=trace, degrade=degrade, calibration=calibration,
+        )
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
     tfidf = tfidf or TfIdfOperator()
@@ -229,4 +266,201 @@ def run_pipeline(
         trace=run_trace,
         quarantine=quarantine,
         downgrades=downgrades,
+    )
+
+
+def _run_planned(
+    corpus: Corpus | DocumentStream,
+    plan: RealPlan | str,
+    *,
+    tfidf: TfIdfOperator | None,
+    kmeans: KMeansOperator | None,
+    trace: bool,
+    degrade: bool,
+    calibration: CalibrationStore | str | None,
+) -> RealRunResult:
+    """Execute a :class:`RealPlan`, phase by phase, on its chosen backends."""
+    kmeans = kmeans or KMeansOperator()
+    plan_t0 = time.perf_counter()
+    read_spans: SpanRecorder | None = None
+    read_s: float | None = None
+    if isinstance(corpus, DocumentStream):
+        # The probe and the planner need the document count up front, and
+        # a plan may split phase 1 from the read anyway — materialize.
+        # Read overlap stays a fixed-backend feature. The reader spans are
+        # captured on a standalone recorder (no backend exists yet) that
+        # the primary backend adopts below, so traced planned runs keep
+        # their ``read`` phase.
+        if trace:
+            read_spans = SpanRecorder()
+            read_spans.begin_run()
+            corpus.spans = read_spans
+        docs: Corpus | list = list(corpus)
+        read_s = corpus.wait_seconds
+        corpus.close()
+    else:
+        docs = corpus
+
+    if plan == "auto":
+        if isinstance(calibration, CalibrationStore):
+            store = calibration
+        else:
+            store = CalibrationStore.load_or_probe(calibration, docs)
+        plan = AdaptivePlanner(store).plan(
+            n_docs=len(docs), kmeans_iters=kmeans.max_iters
+        )
+    elif not isinstance(plan, RealPlan):
+        raise ConfigurationError(
+            f'plan must be "auto" or a RealPlan, got {plan!r}'
+        )
+    for phase in (PHASE_INPUT_WC, PHASE_TRANSFORM, PHASE_KMEANS):
+        if phase not in plan.phases:
+            raise ConfigurationError(f"plan has no entry for phase {phase!r}")
+    wc_plan = plan.phases[PHASE_INPUT_WC]
+    tr_plan = plan.phases[PHASE_TRANSFORM]
+    km_plan = plan.phases[PHASE_KMEANS]
+    if tfidf is None:
+        # The dictionary implementation is a planner knob only when the
+        # caller didn't pin the operators themselves.
+        tfidf = TfIdfOperator(
+            wc_dict_kind=wc_plan.dict_kind,
+            transform_dict_kind=tr_plan.dict_kind,
+        )
+    # Input blocking is a read phase, exactly as on the fixed path; only
+    # the probing/enumeration remainder is billed to planning.
+    plan_seconds = time.perf_counter() - plan_t0
+    if read_s is not None:
+        plan_seconds = max(0.0, plan_seconds - read_s)
+
+    # One backend instance per distinct (tier, workers, shm) — a fused
+    # transform *must* land on the word count's live pool, and equal
+    # configurations shouldn't pay two spawns.
+    cache: dict[tuple[str, int, bool], ExecutionBackend] = {}
+    created: list[ExecutionBackend] = []
+
+    def backend_for(phase_plan) -> ExecutionBackend:
+        key = (phase_plan.backend, phase_plan.workers, phase_plan.shm)
+        be = cache.get(key)
+        if be is None:
+            be = make_backend(
+                phase_plan.backend,
+                phase_plan.workers,
+                shm=phase_plan.shm if phase_plan.backend == "processes" else None,
+            )
+            if created:
+                # One bill for the whole run, whichever backend executes.
+                _transplant(created[0], be)
+            created.append(be)
+            cache[key] = be
+        return be
+
+    primary = backend_for(wc_plan)
+    if trace:
+        if read_spans is not None:
+            # Adopt the recorder that already holds the reader spans;
+            # later backends share it via _transplant from ``created[0]``.
+            primary.spans = read_spans
+        else:
+            primary.spans.begin_run()
+    seconds: dict[str, float] = {}
+    if read_s is not None:
+        seconds[PHASE_READ] = read_s
+    downgrades: list[DowngradeEvent] = []
+
+    def run_phase(phase: str, be: ExecutionBackend, thunk, *, replayable=True):
+        """One phase attempt on ``be``, degrading through tiers if allowed."""
+        while True:
+            try:
+                return thunk(be)
+            except BrokenProcessPool as exc:
+                if not degrade or not replayable:
+                    raise
+                lower = _downgraded(be)
+                if lower is None:
+                    raise
+                _transplant(be, lower)
+                created.append(lower)
+                downgrades.append(
+                    DowngradeEvent(
+                        phase=phase,
+                        from_backend=be.name,
+                        to_backend=lower.name,
+                        reason=str(exc),
+                    )
+                )
+                be = lower
+
+    try:
+        t0 = time.perf_counter()
+        if plan.fused:
+            fused = run_phase(
+                PHASE_INPUT_WC,
+                backend_for(wc_plan),
+                lambda be: tfidf.wordcount.run_fused(
+                    docs, be, min_df=tfidf.min_df, grain=wc_plan.grain
+                ),
+            )
+            t1 = time.perf_counter()
+            seconds[PHASE_INPUT_WC] = t1 - t0
+            # The flush rides the word count's live workers; a downgrade
+            # would discard their resident state, so no replay here.
+            scores = run_phase(
+                PHASE_TRANSFORM,
+                fused.backend,
+                lambda be: tfidf.transform_resident(fused),
+                replayable=False,
+            )
+        else:
+            wc = run_phase(
+                PHASE_INPUT_WC,
+                backend_for(wc_plan),
+                lambda be: tfidf.wordcount.run(
+                    docs, backend=be, grain=wc_plan.grain
+                ),
+            )
+            t1 = time.perf_counter()
+            seconds[PHASE_INPUT_WC] = t1 - t0
+            scores = run_phase(
+                PHASE_TRANSFORM,
+                backend_for(tr_plan),
+                lambda be: tfidf.transform_wordcount(
+                    wc, backend=be, grain=tr_plan.grain
+                ),
+            )
+        t2 = time.perf_counter()
+        seconds[PHASE_TRANSFORM] = t2 - t1
+
+        clusters = run_phase(
+            PHASE_KMEANS,
+            backend_for(km_plan),
+            lambda be: kmeans.fit(scores.matrix, backend=be),
+        )
+        t3 = time.perf_counter()
+        seconds[PHASE_KMEANS] = t3 - t2
+    finally:
+        if trace:
+            primary.spans.end_run()
+        for be in created:
+            be.close()
+
+    run_trace: RunTrace | None = None
+    if trace:
+        run_trace = RunTrace.from_recorder(
+            primary.spans,
+            phase_wall_s=dict(seconds),
+            backend_name="planned",
+            workers=max(be.workers for be in created),
+        )
+
+    return RealRunResult(
+        tfidf=scores,
+        kmeans=clusters,
+        phase_seconds=seconds,
+        backend_name="planned",
+        ipc=primary.ipc.snapshot(),
+        trace=run_trace,
+        quarantine=primary.quarantine if primary.quarantine else None,
+        downgrades=downgrades,
+        plan=plan,
+        plan_seconds=plan_seconds,
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core.cost_model import DEFAULT_COSTS, CostConstants
 from repro.core.workflow import build_tfidf_kmeans_workflow
+from repro.dicts.factory import PLANNER_KINDS, dict_candidate_pairs
 from repro.errors import PlannerError
 from repro.exec.machine import MachineSpec
 from repro.exec.scheduler import SimScheduler
@@ -96,7 +97,7 @@ class WorkflowPlanner:
         self,
         machine: MachineSpec,
         costs: CostConstants = DEFAULT_COSTS,
-        dict_kinds: tuple[str, ...] = ("map", "unordered_map"),
+        dict_kinds: tuple[str, ...] = PLANNER_KINDS,
         modes: tuple[str, ...] = ("merged", "discrete"),
         worker_options: tuple[int, ...] | None = None,
         mixed_dicts: bool = True,
@@ -113,15 +114,7 @@ class WorkflowPlanner:
         self.mixed_dicts = mixed_dicts
 
     def _dict_configs(self) -> list[tuple[str, str]]:
-        configs = [(kind, kind) for kind in self.dict_kinds]
-        if self.mixed_dicts:
-            configs += [
-                (a, b)
-                for a in self.dict_kinds
-                for b in self.dict_kinds
-                if a != b
-            ]
-        return configs
+        return dict_candidate_pairs(self.dict_kinds, mixed=self.mixed_dicts)
 
     def plan(
         self,

@@ -18,10 +18,22 @@ from repro.dicts.hashmap import DEFAULT_RESERVE, HashMap
 from repro.dicts.treemap import TreeMap
 from repro.errors import ConfigurationError
 
-__all__ = ["make_dict", "register_dict_kind", "available_kinds", "DEFAULT_KIND"]
+__all__ = [
+    "make_dict",
+    "register_dict_kind",
+    "available_kinds",
+    "dict_candidate_pairs",
+    "DEFAULT_KIND",
+    "PLANNER_KINDS",
+]
 
 #: Kind used when a plan does not specify one.
 DEFAULT_KIND = "map"
+
+#: Kinds planners enumerate by default. The paper's experiments compare
+#: ``std::map`` against ``std::unordered_map``; ``btree`` and ``dict`` stay
+#: registered for direct use but are not part of the default search space.
+PLANNER_KINDS = ("map", "unordered_map")
 
 _REGISTRY: dict[str, Callable[[int], Dictionary]] = {
     "map": lambda reserve: TreeMap(),
@@ -67,3 +79,29 @@ def register_dict_kind(kind: str, builder: Callable[[int], Dictionary]) -> None:
 def available_kinds() -> list[str]:
     """Sorted list of registered dictionary kinds."""
     return sorted(_REGISTRY)
+
+
+def dict_candidate_pairs(
+    kinds: tuple[str, ...] = PLANNER_KINDS, *, mixed: bool = True
+) -> list[tuple[str, str]]:
+    """Candidate ``(wc_kind, transform_kind)`` pairs for planners.
+
+    The single source of truth for dictionary-candidate enumeration: both
+    the virtual-time :class:`repro.core.planner.WorkflowPlanner` and the
+    real-execution :class:`repro.plan.AdaptivePlanner` call this instead of
+    hard-coding the list. Uniform pairs come first (same kind in both
+    phases), then — when ``mixed`` is true — the cross pairs that let the
+    planner assign a different implementation per phase, the paper's
+    fourth optimization.
+    """
+    for kind in kinds:
+        if kind not in _REGISTRY:
+            raise ConfigurationError(
+                f"unknown dictionary kind {kind!r}; available: {available_kinds()}"
+            )
+    pairs = [(kind, kind) for kind in kinds]
+    if mixed:
+        pairs.extend(
+            (a, b) for a in kinds for b in kinds if a != b
+        )
+    return pairs

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from itertools import chain
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError, PhaseTimeoutError, TaskTimeoutError
@@ -48,6 +49,10 @@ __all__ = [
 ]
 
 ItemT = TypeVar("ItemT")
+
+#: Sentinel for "the stream produced nothing" when peeking at a lazy
+#: source — an empty input must never spin up a worker pool.
+_EMPTY = object()
 ResultT = TypeVar("ResultT")
 
 
@@ -114,6 +119,12 @@ class ExecutionBackend:
     #: in-process backends share an address space, so for them the
     #: zero-copy path is the plain by-reference path they already use.
     uses_shm = False
+    #: True when :meth:`configure` may replace the worker pool (and with
+    #: it any worker-resident kernel state). In-process backends run
+    #: initializers against the parent's address space, so state survives
+    #: reconfiguration; the process backend recycles its pool instead —
+    #: the fused wc→transform path branches on this.
+    configure_recycles_workers = False
 
     def __init__(self, resilience: ResilienceConfig | None = None) -> None:
         #: Per-phase IPC accounting (see :class:`repro.exec.shm.IpcStats`).
@@ -490,12 +501,21 @@ class ThreadBackend(ExecutionBackend):
             return super().map_stream(fn, items, grain=grain)
         if not self.spans.enabled:
             # Threads pay no pickle tax, so per-item submission is fine;
-            # the grain knob only matters for the process backend.
-            return submit_stream(self._ensure_pool(), fn, items)
-        pool = self._ensure_pool()
+            # the grain knob only matters for the process backend. Peek
+            # before creating the pool: an empty stream costs nothing.
+            iterator = iter(items)
+            first = next(iterator, _EMPTY)
+            if first is _EMPTY:
+                return []
+            return submit_stream(
+                self._ensure_pool(), fn, chain([first], iterator)
+            )
+        pool = None
         futures = []
         try:
             for item in items:
+                if pool is None:
+                    pool = self._ensure_pool()
                 futures.append(self._submit_chunk(pool, fn, [item]))
         except BaseException:
             # The *producer* failed mid-stream: drop what was queued.
@@ -554,9 +574,11 @@ class ThreadBackend(ExecutionBackend):
         """
         cfg = self.resilience
         phase = self.spans.phase
-        pool = self._ensure_pool()
+        pool = None  # created on the first chunk: empty input, no pool
         tasks = []  # [start_index, chunk, task_id, future]
         for start, chunk in chunks:
+            if pool is None:
+                pool = self._ensure_pool()
             task_id = self._next_task_id(phase)
             future = self._submit_resilient(pool, fn, chunk, task_id, phase, 1)
             tasks.append([start, chunk, task_id, future])

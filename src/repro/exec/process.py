@@ -188,6 +188,10 @@ class _ChunkTask:
 class ProcessBackend(ExecutionBackend):
     """Runs operator loops on a pool of worker processes."""
 
+    #: ``configure`` with new state replaces the pool, destroying any
+    #: worker-resident kernel state (see the fused wc→transform path).
+    configure_recycles_workers = True
+
     def __init__(
         self,
         workers: int,
@@ -588,8 +592,10 @@ class ProcessBackend(ExecutionBackend):
         phase = self.ipc.phase
         tasks: list[_ChunkTask] = []
         try:
-            pool = self._ensure_pool()
+            pool = None  # created on the first chunk: empty input, no pool
             for item_index, chunk in chunks:
+                if pool is None:
+                    pool = self._ensure_pool()
                 task = _ChunkTask(
                     fn, chunk, item_index, self._next_task_id(phase), phase
                 )
@@ -652,16 +658,20 @@ class ProcessBackend(ExecutionBackend):
                     yield offset, batch
 
             return self._run_resilient(fn, batches(), bisect_items)
-        pool = self._ensure_pool()
+        pool = None  # created on the first batch: empty input, no pool
         futures: list = []
         try:
             batch: list = []
             for item in items:
                 batch.append(item)
                 if len(batch) >= grain:
+                    if pool is None:
+                        pool = self._ensure_pool()
                     futures.append(self._submit_chunk(pool, fn, batch))
                     batch = []
             if batch:
+                if pool is None:
+                    pool = self._ensure_pool()
                 futures.append(self._submit_chunk(pool, fn, batch))
             return self._gather_pickled(futures)
         except BrokenProcessPool as exc:

@@ -379,6 +379,27 @@ class RunTrace:
             for phase in self.phases
         }
 
+    def phase_totals(self) -> dict[str, dict]:
+        """Per-phase sums of busy seconds, items, tasks and bytes.
+
+        The calibration inputs: ``busy_s / n_items`` is the measured
+        worker-side compute cost per item (unpolluted by queueing or the
+        parent's gather loop), which
+        :meth:`repro.plan.calibration.CalibrationStore.observe_run` feeds
+        back into the cost constants.
+        """
+        totals: dict[str, dict] = {}
+        for phase in self.phases:
+            spans = self.phase_spans(phase)
+            totals[phase] = {
+                "busy_s": sum(span.duration_s for span in spans),
+                "n_items": sum(span.n_items for span in spans),
+                "in_bytes": sum(span.in_bytes for span in spans),
+                "out_bytes": sum(span.out_bytes for span in spans),
+                "n_tasks": len(spans),
+            }
+        return totals
+
     def top_stragglers(self, n: int = 3) -> list[TaskSpan]:
         """The ``n`` longest tasks of the run, slowest first."""
         return sorted(self.spans, key=lambda span: span.duration_s, reverse=True)[:n]

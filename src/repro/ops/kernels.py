@@ -32,6 +32,10 @@ __all__ = [
     "init_transform_worker",
     "init_transform_worker_shm",
     "transform_chunk",
+    "init_fused_worker",
+    "count_chunk_resident",
+    "transform_flush",
+    "count_transform_chunk",
     "init_kmeans_worker",
     "init_kmeans_worker_shm",
     "assign_chunk",
@@ -134,6 +138,93 @@ def transform_chunk(
         )
         vectors.append(vector.normalized())
     return vectors
+
+
+# -- fused wc→transform (worker-resident intermediates) -------------------------------
+
+#: Per-worker store of counted-but-not-yet-transformed chunks, keyed by
+#: chunk id. Filled by :func:`count_chunk_resident` during the fused
+#: word-count phase and drained by :func:`transform_flush` — the per-doc
+#: term-frequency entries never cross the IPC boundary.
+_RESIDENT: dict[int, list[list[tuple[str, int]]]] = {}
+
+#: Decoded vocabulary state per shared segment, so a worker that flushes
+#: many chunks decodes the vocab blob exactly once.
+_FUSED_VOCAB: dict[str, tuple] = {}
+
+
+def init_fused_worker(tokenizer: Tokenizer, min_df: int) -> None:
+    """Install tokenizer + min_df and reset the resident store (per run)."""
+    _STATE["fused"] = (tokenizer, min_df)
+    _STATE["wordcount"] = (tokenizer,)
+    _RESIDENT.clear()
+    _FUSED_VOCAB.clear()
+
+
+def count_chunk_resident(
+    task: tuple[int, list[str]]
+) -> tuple[int, list[int], list[tuple[str, int]]]:
+    """Count one chunk, keeping the per-doc TF entries worker-resident.
+
+    Identical counting arithmetic to :func:`count_chunk`, but the
+    corpus-sized ``doc_entries`` stay in :data:`_RESIDENT` under the chunk
+    id instead of being pickled back: only the (much smaller) token counts
+    and partial document-frequency table return to the parent, which is
+    all it needs to build the vocabulary.
+    """
+    chunk_id, texts = task
+    doc_entries, token_counts, df_entries = count_chunk(texts)
+    _RESIDENT[chunk_id] = doc_entries
+    return chunk_id, token_counts, df_entries
+
+
+def _install_fused_vocab(descriptor) -> None:
+    """Point ``_STATE['transform']`` at the vocabulary for this flush.
+
+    ``descriptor`` is ``None`` on in-process backends (the parent already
+    configured the transform state directly); on the process backend it is
+    the tiny shm descriptor riding inside each flush task — shipping it
+    per task instead of via ``configure`` is what keeps the worker pool
+    (and with it the resident store) alive between the two fused phases.
+    """
+    if descriptor is None:
+        if "transform" not in _STATE:
+            raise OperatorError("fused flush before transform state installed")
+        return
+    cached = _FUSED_VOCAB.get(descriptor.segment)
+    if cached is None:
+        _, min_df = _STATE["fused"]
+        init_transform_worker_shm(descriptor, min_df)
+        _FUSED_VOCAB[descriptor.segment] = _STATE["transform"]
+    else:
+        _STATE["transform"] = cached
+
+
+def transform_flush(task: tuple[int, object]) -> list[SparseVector] | None:
+    """Transform a chunk counted earlier by this worker, if resident.
+
+    Returns ``None`` when the chunk is not resident here (a different
+    pool worker counted it — possible at ``workers > 1`` because the
+    executor has no task affinity); the parent then falls back to
+    :func:`count_transform_chunk` from its retained chunk texts. At one
+    worker, and on in-process backends, every chunk hits.
+    """
+    chunk_id, descriptor = task
+    entries = _RESIDENT.pop(chunk_id, None)
+    if entries is None:
+        return None
+    _install_fused_vocab(descriptor)
+    return transform_chunk(entries)
+
+
+def count_transform_chunk(
+    task: tuple[list[str], object]
+) -> list[SparseVector]:
+    """Residency-miss fallback: re-count then transform in one task."""
+    texts, descriptor = task
+    doc_entries, _token_counts, _df = count_chunk(texts)
+    _install_fused_vocab(descriptor)
+    return transform_chunk(doc_entries)
 
 
 # -- K-means assignment ----------------------------------------------------------------

@@ -32,7 +32,7 @@ from repro.core.cost_model import (
 from repro.dicts.api import Dictionary
 from repro.dicts.cost import profile_for_kind
 from repro.dicts.factory import make_dict
-from repro.errors import OperatorError
+from repro.errors import ConfigurationError, OperatorError
 from repro.exec.inline import ExecutionBackend
 from repro.exec.metrics import Timeline
 from repro.exec.parallel import auto_grain
@@ -42,7 +42,7 @@ from repro.ops import kernels
 from repro.io.arff import arff_lines
 from repro.io.corpus_io import corpus_paths
 from repro.io.storage import Storage
-from repro.ops.wordcount import WordCountResult, WordCountStep
+from repro.ops.wordcount import FusedWordCount, WordCountResult, WordCountStep
 from repro.sparse.matrix import CsrMatrix
 from repro.sparse.vector import SparseVector
 from repro.text.corpus import Corpus
@@ -333,8 +333,33 @@ class TfIdfOperator:
         wc = self.wordcount.run(corpus, backend=backend)
         return self.transform_wordcount(wc, backend=backend)
 
+    @staticmethod
+    def _share_vocabulary(backend: ExecutionBackend, vocabulary, idf):
+        """Snapshot the vocabulary + idf into one shared segment.
+
+        Strings packed as a UTF-8 blob with cumulative end offsets.
+        Workers attach zero-copy instead of receiving the whole table
+        pickled into their initargs (or, on the fused path, per task).
+        """
+        encoded = [term.encode("utf-8") for term in vocabulary]
+        return backend.share_arrays(
+            "transform",
+            {
+                "vocab_blob": np.frombuffer(
+                    b"".join(encoded) or b"\0", dtype=np.uint8
+                ),
+                "vocab_ends": np.cumsum(
+                    [len(raw) for raw in encoded], dtype=np.int64
+                ),
+                "idf": np.asarray(idf, dtype=np.float64),
+            },
+        )
+
     def transform_wordcount(
-        self, wc: WordCountResult, backend: ExecutionBackend | None = None
+        self,
+        wc: WordCountResult,
+        backend: ExecutionBackend | None = None,
+        grain: int | None = None,
     ) -> TfIdfResult:
         """Phase 2a over an existing word-count result (no simulation).
 
@@ -354,23 +379,7 @@ class TfIdfOperator:
             backend.begin_phase(PHASE_TRANSFORM)
             shared = None
             if backend.uses_shm:
-                # Snapshot the vocabulary + idf into one shared segment:
-                # strings packed as a UTF-8 blob with cumulative end
-                # offsets. Workers attach zero-copy instead of receiving
-                # the whole table pickled into their initargs.
-                encoded = [term.encode("utf-8") for term in vocabulary]
-                shared = backend.share_arrays(
-                    "transform",
-                    {
-                        "vocab_blob": np.frombuffer(
-                            b"".join(encoded) or b"\0", dtype=np.uint8
-                        ),
-                        "vocab_ends": np.cumsum(
-                            [len(raw) for raw in encoded], dtype=np.int64
-                        ),
-                        "idf": np.asarray(idf, dtype=np.float64),
-                    },
-                )
+                shared = self._share_vocabulary(backend, vocabulary, idf)
                 backend.configure(
                     kernels.init_transform_worker_shm,
                     (shared.descriptor(), self.min_df),
@@ -380,7 +389,8 @@ class TfIdfOperator:
                     kernels.init_transform_worker, (vocabulary, idf, self.min_df)
                 )
             entry_lists = [list(tf.items()) for tf in wc.doc_tfs]
-            grain = auto_grain(len(entry_lists), backend.workers)
+            if grain is None:
+                grain = auto_grain(len(entry_lists), backend.workers)
             chunks = [
                 entry_lists[at : at + grain]
                 for at in range(0, len(entry_lists), grain)
@@ -412,6 +422,101 @@ class TfIdfOperator:
                         item.item_index * grain + item.sub_start + item.n_units,
                     )
                 )
+        return TfIdfResult(
+            matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
+            vocabulary=vocabulary,
+            idf=idf,
+            wordcount=wc,
+        )
+
+    # -- fused execution (worker-resident intermediates) ------------------------------
+
+    def fit_transform_fused(
+        self,
+        corpus,
+        backend: ExecutionBackend,
+        *,
+        grain: int | None = None,
+    ) -> TfIdfResult:
+        """Fused wc→transform on one backend (paper optimization #3, real path).
+
+        Output is bit-identical to :meth:`fit_transform` on the same
+        backend — same counting, same vocabulary (built from the merged
+        document-frequency table, which travels normally), same transform
+        arithmetic, same row order — but the per-document TF entries never
+        cross the IPC boundary: each worker transforms the chunks it
+        counted. On the process backend this eliminates the transform
+        phase's corpus-sized task pickles (visible in ``IpcStats``);
+        requires the shm plane there, because the vocabulary must reach
+        workers without a ``configure`` call (which would recycle the pool
+        and with it the resident state).
+        """
+        fused = self.wordcount.run_fused(
+            corpus, backend, min_df=self.min_df, grain=grain
+        )
+        return self.transform_resident(fused)
+
+    def transform_resident(self, fused: FusedWordCount) -> TfIdfResult:
+        """Flush worker-resident chunks through the transform (phase 2a)."""
+        backend = fused.backend
+        wc = fused.wc
+        scratch = TaskCost()
+        vocabulary, idf, index = self.build_vocabulary(wc, scratch)
+        backend.begin_phase(PHASE_TRANSFORM)
+        shared = None
+        if backend.configure_recycles_workers:
+            # The vocabulary may not travel via ``configure`` here — the
+            # process backend recycles its pool on reconfiguration, which
+            # would destroy the resident chunks. Instead it goes into a
+            # shared segment whose tiny descriptor rides inside each
+            # flush task.
+            if not backend.uses_shm:
+                raise ConfigurationError(
+                    "fused wc→transform on the process backend requires "
+                    "the shared-memory plane (shm=True): the vocabulary "
+                    "cannot travel via configure without recycling the "
+                    "pool and losing the worker-resident chunks"
+                )
+            shared = self._share_vocabulary(backend, vocabulary, idf)
+            descriptor = shared.descriptor()
+        else:
+            # In-process backends share the parent's address space:
+            # configure installs the transform state without touching any
+            # pool, and the flush tasks carry no descriptor at all.
+            backend.configure(
+                kernels.init_transform_worker, (vocabulary, idf, self.min_df)
+            )
+            descriptor = None
+        try:
+            tasks = [
+                (chunk_id, descriptor)
+                for chunk_id in range(len(fused.chunk_texts))
+            ]
+            flushed = backend.map(kernels.transform_flush, tasks, grain=1)
+            # Residency misses (flush landed on a worker that did not
+            # count the chunk — impossible at workers=1 and in-process,
+            # possible above that) fall back to a fresh count+transform
+            # from the parent-retained chunk texts.
+            misses = [
+                chunk_id
+                for chunk_id, out in enumerate(flushed)
+                if out is None
+            ]
+            if misses:
+                redone = backend.map(
+                    kernels.count_transform_chunk,
+                    [
+                        (fused.chunk_texts[chunk_id], descriptor)
+                        for chunk_id in misses
+                    ],
+                    grain=1,
+                )
+                for chunk_id, out in zip(misses, redone):
+                    flushed[chunk_id] = out
+        finally:
+            if shared is not None:
+                shared.close()
+        rows = [row for chunk_rows in flushed for row in chunk_rows]
         return TfIdfResult(
             matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
             vocabulary=vocabulary,

@@ -22,6 +22,7 @@ from repro.dicts.api import Dictionary
 from repro.dicts.cost import DictCostProfile, profile_for_kind
 from repro.dicts.factory import make_dict
 from repro.dicts.snapshot import SnapshotDict
+from repro.errors import ConfigurationError
 from repro.exec.inline import ExecutionBackend
 from repro.exec.parallel import auto_grain
 from repro.exec.scheduler import PhaseTiming, SimScheduler
@@ -30,7 +31,7 @@ from repro.io.storage import Storage
 from repro.ops import kernels
 from repro.text.tokenizer import Tokenizer
 
-__all__ = ["WordCountResult", "WordCountStep", "PHASE_INPUT_WC"]
+__all__ = ["WordCountResult", "WordCountStep", "FusedWordCount", "PHASE_INPUT_WC"]
 
 #: Phase label used in Figure 3/4 breakdowns.
 PHASE_INPUT_WC = "input+wc"
@@ -73,9 +74,14 @@ class WordCountResult:
     total_tokens: int = 0
     #: Extrapolation factors the producing step was configured with.
     scale: WorkloadScale = UNIT_SCALE
+    #: Set by the fused path, where ``doc_tfs`` stays empty because the
+    #: per-document dictionaries never left the workers.
+    counted_docs: int | None = None
 
     @property
     def n_docs(self) -> int:
+        if self.counted_docs is not None:
+            return self.counted_docs
         return len(self.doc_tfs)
 
     @property
@@ -93,6 +99,25 @@ class WordCountResult:
             self.df.resident_bytes() * self.scale.vocab_factor
             + per_doc * self.scale.doc_factor
         )
+
+
+@dataclass
+class FusedWordCount:
+    """Word-count output whose per-document TF entries stayed worker-resident.
+
+    Produced by :meth:`WordCountStep.run_fused`: ``wc.doc_tfs`` is empty
+    (``wc.counted_docs`` carries the document count instead) because each
+    worker kept its chunks' entries in :data:`repro.ops.kernels._RESIDENT`,
+    waiting for the transform flush. ``chunk_texts`` retains the raw chunk
+    texts parent-side so a residency miss (the flush task landing on a
+    different pool worker) can fall back to a re-count; ``backend`` is the
+    backend that holds the resident state — the flush *must* reuse it,
+    without any intervening ``configure`` that would recycle the pool.
+    """
+
+    wc: WordCountResult
+    chunk_texts: list[list[str]]
+    backend: ExecutionBackend
 
 
 class WordCountStep:
@@ -248,7 +273,10 @@ class WordCountStep:
     # -- functional execution ---------------------------------------------------------------
 
     def run(
-        self, texts, backend: ExecutionBackend | None = None
+        self,
+        texts,
+        backend: ExecutionBackend | None = None,
+        grain: int | None = None,
     ) -> WordCountResult:
         """Count an in-memory or streamed document source (no simulation).
 
@@ -265,7 +293,7 @@ class WordCountStep:
         simulated path when op stats matter.
         """
         if backend is not None:
-            return self._run_backend(texts, backend)
+            return self._run_backend(texts, backend, grain=grain)
         df = make_dict(self.dict_kind, self.reserve)
         doc_tfs: list[Dictionary] = []
         doc_tokens: list[int] = []
@@ -289,7 +317,9 @@ class WordCountStep:
             scale=self.scale,
         )
 
-    def _run_backend(self, texts, backend: ExecutionBackend) -> WordCountResult:
+    def _run_backend(
+        self, texts, backend: ExecutionBackend, grain: int | None = None
+    ) -> WordCountResult:
         """Chunked word count on a real backend (phase-1 parallel loop).
 
         Each chunk is one task: the worker tokenizes and counts its
@@ -302,13 +332,14 @@ class WordCountStep:
         """
         backend.begin_phase(PHASE_INPUT_WC)
         backend.configure(kernels.init_wordcount_worker, (self.tokenizer,))
-        try:
-            n_hint = len(texts)
-        except TypeError:
-            n_hint = None
-        grain = (
-            auto_grain(n_hint, backend.workers) if n_hint else _STREAM_GRAIN
-        )
+        if grain is None:
+            try:
+                n_hint = len(texts)
+            except TypeError:
+                n_hint = None
+            grain = (
+                auto_grain(n_hint, backend.workers) if n_hint else _STREAM_GRAIN
+            )
         paths: list[str] = []
         input_bytes = 0
         chunk_starts: list[int] = []
@@ -370,3 +401,81 @@ class WordCountStep:
             total_tokens=sum(doc_tokens),
             scale=self.scale,
         )
+
+    def run_fused(
+        self,
+        texts,
+        backend: ExecutionBackend,
+        *,
+        min_df: int = 1,
+        grain: int | None = None,
+    ) -> FusedWordCount:
+        """Count chunks, leaving per-document TF entries worker-resident.
+
+        First half of the fused wc→transform pipeline (paper optimization
+        #3 on the real path): counting arithmetic is identical to
+        :meth:`run`, but each task returns only its token counts and
+        partial document-frequency table — the corpus-sized per-document
+        entries stay in the worker that counted them, keyed by chunk id,
+        until :meth:`repro.ops.tfidf.TfIdfOperator.transform_resident`
+        flushes them. Incompatible with retry/quarantine policies (a
+        retried task would double-install resident state on a different
+        worker), so resilient backends are rejected.
+        """
+        if getattr(backend, "_resilient", False):
+            raise ConfigurationError(
+                "fused wc→transform is incompatible with retry/quarantine "
+                "policies; run unfused or drop the resilience policy"
+            )
+        backend.begin_phase(PHASE_INPUT_WC)
+        backend.configure(kernels.init_fused_worker, (self.tokenizer, min_df))
+        if grain is None:
+            try:
+                n_hint = len(texts)
+            except TypeError:
+                n_hint = None
+            grain = (
+                auto_grain(n_hint, backend.workers) if n_hint else _STREAM_GRAIN
+            )
+        paths: list[str] = []
+        input_bytes = 0
+        chunk_texts: list[list[str]] = []
+
+        def chunked():
+            nonlocal input_bytes
+            chunk: list[str] = []
+            for name, text in _iter_named(texts):
+                paths.append(name if name is not None else f"mem-{len(paths)}")
+                input_bytes += len(text)
+                chunk.append(text)
+                if len(chunk) >= grain:
+                    chunk_texts.append(chunk)
+                    yield (len(chunk_texts) - 1, chunk)
+                    chunk = []
+            if chunk:
+                chunk_texts.append(chunk)
+                yield (len(chunk_texts) - 1, chunk)
+
+        parts = backend.map_stream(
+            kernels.count_chunk_resident, chunked(), grain=1
+        )
+
+        doc_tokens: list[int] = []
+        df_total: dict[str, int] = {}
+        for _chunk_id, token_counts, df_entries in parts:
+            doc_tokens.extend(token_counts)
+            for term, count in df_entries:
+                df_total[term] = df_total.get(term, 0) + count
+        df = SnapshotDict(sorted(df_total.items()), kind=self.dict_kind)
+        wc = WordCountResult(
+            paths=paths,
+            doc_tfs=[],
+            doc_token_counts=doc_tokens,
+            df=df,
+            dict_kind=self.dict_kind,
+            input_bytes=input_bytes,
+            total_tokens=sum(doc_tokens),
+            scale=self.scale,
+            counted_docs=len(paths),
+        )
+        return FusedWordCount(wc=wc, chunk_texts=chunk_texts, backend=backend)

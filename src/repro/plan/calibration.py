@@ -1,0 +1,384 @@
+"""Measured cost constants for the real-execution planner.
+
+The virtual-time planner costs candidates against hand-tuned constants;
+the real planner refuses to guess. A :class:`CalibrationStore` holds the
+per-phase and per-host constants the :class:`~repro.plan.cost_model.RealCostModel`
+multiplies out — per-document compute nanoseconds, task/result pickle
+bytes per document, pickle throughput both ways, pool-spawn and
+shm-setup fixed costs, per-task overhead — and two ways to obtain them:
+
+* :meth:`CalibrationStore.probe` — a cheap sequential sample (~2% of the
+  corpus, strided) that times the *actual kernels* the backends run
+  (:func:`~repro.ops.kernels.count_chunk`,
+  :func:`~repro.ops.kernels.transform_chunk`,
+  :func:`~repro.ops.kernels._assign_block`) and pickles the actual
+  payloads they would ship, so the constants are measured in the same
+  units the run will spend them in.
+* :meth:`CalibrationStore.observe_run` — feedback from a traced run
+  (:meth:`~repro.exec.spans.RunTrace.phase_totals` for worker-side
+  compute, :class:`~repro.exec.shm.IpcStats` snapshots for exact byte
+  counts), blended into the store so repeated runs sharpen the model.
+
+Stores persist as JSON (:meth:`save`/:meth:`load`); a committed fixture
+makes CI planning deterministic across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.dicts.factory import PLANNER_KINDS, make_dict
+from repro.errors import ConfigurationError
+
+__all__ = ["PhaseConstants", "CalibrationStore", "DEFAULT_PROBE_FRACTION"]
+
+#: Fraction of documents the sequential probe samples.
+DEFAULT_PROBE_FRACTION = 0.02
+
+#: Probe floor: fewer documents than this make the timings pure noise
+#: (and leave the k-means probe without enough rows for 8 centroids).
+_MIN_PROBE_DOCS = 16
+
+#: Defaults for constants the probe does not measure (pool spawn is only
+#: measured when ``measure_pool=True`` — it costs a real fork). Values
+#: are deliberately conservative for a 1-CPU container; observe_run
+#: replaces them with measurements.
+_DEFAULT_POOL_SPAWN_S = 0.12
+_DEFAULT_SHM_SETUP_S = 0.002
+_DEFAULT_TASK_OVERHEAD_S = 2e-4
+
+#: Exponential blending weight for observe_run updates (new measurement
+#: gets this share; history keeps the rest).
+_BLEND = 0.5
+
+
+@dataclass
+class PhaseConstants:
+    """Per-phase cost constants, all *per document* (per document per
+    iteration for ``kmeans`` — spans count a document once per pass, so
+    fitted values land in the same unit automatically)."""
+
+    compute_ns_per_doc: float = 0.0
+    #: Bytes of task pickle shipped per document (chunk payload / docs).
+    task_bytes_per_doc: float = 0.0
+    #: Bytes of result pickle returned per document.
+    result_bytes_per_doc: float = 0.0
+    #: Task bytes per document when the phase's bulk state travels via
+    #: the shm plane instead of the task pickle (kmeans block tokens,
+    #: fused-transform descriptors). 0 = effectively free.
+    shm_task_bytes_per_doc: float = 0.0
+    #: Parent-side dictionary merge ops per document (wc: df increments).
+    merge_ops_per_doc: float = 0.0
+
+
+@dataclass
+class CalibrationStore:
+    """Fitted cost constants plus provenance, persisted as JSON."""
+
+    phases: dict[str, PhaseConstants] = field(default_factory=dict)
+    pickle_ns_per_byte: float = 0.5
+    unpickle_ns_per_byte: float = 0.5
+    pool_spawn_s_per_worker: float = _DEFAULT_POOL_SPAWN_S
+    shm_setup_s: float = _DEFAULT_SHM_SETUP_S
+    task_overhead_s: float = _DEFAULT_TASK_OVERHEAD_S
+    #: Measured nanoseconds per increment per dictionary kind — the term
+    #: that differentiates dict candidates in the real cost model.
+    dict_ns_per_op: dict[str, float] = field(default_factory=dict)
+    #: "probe", "observed", "fixture" — where the constants came from.
+    source: str = "default"
+    #: Documents that contributed to the constants so far.
+    samples: int = 0
+    host: dict = field(default_factory=dict)
+    version: int = 1
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["phases"] = {
+            phase: asdict(constants) for phase, constants in self.phases.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CalibrationStore":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("calibration store must be a JSON object")
+        phases = {
+            phase: PhaseConstants(**constants)
+            for phase, constants in payload.get("phases", {}).items()
+        }
+        known = {f for f in cls.__dataclass_fields__} - {"phases"}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        return cls(phases=phases, **kwargs)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CalibrationStore":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot load calibration store {path!r}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load_or_probe(cls, path: str | None, corpus) -> "CalibrationStore":
+        """Load ``path`` when it exists, else probe (and persist to it)."""
+        if path is not None and os.path.exists(path):
+            return cls.load(path)
+        store = cls.probe(corpus)
+        if path is not None:
+            store.save(path)
+        return store
+
+    # -- fitting: sampled sequential probe -----------------------------------------
+
+    @classmethod
+    def probe(
+        cls,
+        corpus,
+        tokenizer=None,
+        min_df: int = 1,
+        fraction: float = DEFAULT_PROBE_FRACTION,
+        measure_pool: bool = False,
+    ) -> "CalibrationStore":
+        """Time the real kernels on a strided ~``fraction`` sample.
+
+        Sequential and cheap by construction: one
+        :func:`~repro.ops.kernels.count_chunk` call, one
+        :func:`~repro.ops.kernels.transform_chunk` call, one k-means
+        assignment pass, and pickle round trips of the payloads those
+        calls would ship. ``measure_pool=True`` additionally forks a
+        one-worker process pool to time its spawn (skipped by default —
+        it costs what it measures).
+        """
+        from repro.ops import kernels
+        from repro.sparse.matrix import CsrMatrix
+        from repro.text.tokenizer import Tokenizer
+
+        texts = [
+            item if isinstance(item, str) else item.text for item in corpus
+        ]
+        if not texts:
+            raise ConfigurationError("cannot probe an empty corpus")
+        n = len(texts)
+        want = max(_MIN_PROBE_DOCS, int(n * fraction))
+        stride = max(1, n // want)
+        sample = texts[::stride][:want]
+        k = len(sample)
+        tokenizer = tokenizer or Tokenizer()
+
+        store = cls(source="probe", samples=k, host=_host())
+
+        # Phase 1: word count. One chunk = the whole sample, exactly the
+        # kernel a backend task runs.
+        kernels.init_wordcount_worker(tokenizer)
+        t0 = time.perf_counter()
+        wc_out = kernels.count_chunk(sample)
+        wc_s = time.perf_counter() - t0
+        doc_entries, _token_counts, df_entries = wc_out
+        wc_task_bytes = len(pickle.dumps(sample)) / k
+        store.phases["input+wc"] = PhaseConstants(
+            compute_ns_per_doc=wc_s / k * 1e9,
+            task_bytes_per_doc=wc_task_bytes,
+            result_bytes_per_doc=len(pickle.dumps(wc_out)) / k,
+            # Raw texts ship as task pickles whether or not the shm plane
+            # is up — shm carries no word-count state.
+            shm_task_bytes_per_doc=wc_task_bytes,
+            merge_ops_per_doc=sum(len(e) for e in doc_entries) / k,
+        )
+
+        # Vocabulary from the sample's df table (same arithmetic as
+        # TfIdfOperator.build_vocabulary, scoped to the probe).
+        entries = [e for e in df_entries if e[1] >= min_df]
+        vocabulary = [term for term, _ in entries]
+        idf = [math.log(k / count) if count else 0.0 for _, count in entries]
+
+        # Phase 2a: transform.
+        kernels.init_transform_worker(vocabulary, idf, min_df)
+        t0 = time.perf_counter()
+        vectors = kernels.transform_chunk(doc_entries)
+        tr_s = time.perf_counter() - t0
+        tr_task_bytes = len(pickle.dumps(doc_entries)) / k
+        store.phases["transform"] = PhaseConstants(
+            compute_ns_per_doc=tr_s / k * 1e9,
+            task_bytes_per_doc=tr_task_bytes,
+            result_bytes_per_doc=len(pickle.dumps(vectors)) / k,
+            # Unfused, the per-document TF entries ride the task pickles
+            # even with shm up (the plane only broadcasts vocabulary/idf);
+            # only *fusion* eliminates them.
+            shm_task_bytes_per_doc=tr_task_bytes,
+        )
+
+        # Phase 3: one k-means assignment pass over the sample.
+        matrix = CsrMatrix.from_rows(vectors, n_cols=len(vocabulary))
+        indptr, indices, data = matrix.as_arrays()
+        doc_idx = []
+        doc_val = []
+        for doc in range(matrix.n_rows):
+            lo, hi = int(indptr[doc]), int(indptr[doc + 1])
+            doc_idx.append(indices[lo:hi])
+            doc_val.append(data[lo:hi])
+        sq_norms = np.array([float(v @ v) for v in doc_val])
+        n_clusters = min(8, k)
+        centroids = np.zeros((n_clusters, matrix.n_cols), dtype=np.float64)
+        for cluster in range(n_clusters):
+            centroids[cluster, doc_idx[cluster]] = doc_val[cluster]
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+        t0 = time.perf_counter()
+        km_out = kernels._assign_block(
+            0, k, centroids, centroid_sq_norms, doc_idx, doc_val, sq_norms
+        )
+        km_s = time.perf_counter() - t0
+        km_task = (0, k, centroids, centroid_sq_norms)
+        store.phases["kmeans"] = PhaseConstants(
+            compute_ns_per_doc=km_s / k * 1e9,
+            task_bytes_per_doc=len(pickle.dumps(km_task)) / k,
+            result_bytes_per_doc=len(pickle.dumps(km_out)) / k,
+            shm_task_bytes_per_doc=0.0,  # block tokens are ~40 bytes/task
+        )
+
+        # Pickle throughput, measured on the probe's own biggest payload.
+        blob_source = doc_entries
+        blob = pickle.dumps(blob_source)
+        reps = 3
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            pickle.dumps(blob_source)
+        store.pickle_ns_per_byte = (
+            (time.perf_counter() - t0) / (reps * len(blob)) * 1e9
+        )
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            pickle.loads(blob)
+        store.unpickle_ns_per_byte = (
+            (time.perf_counter() - t0) / (reps * len(blob)) * 1e9
+        )
+
+        # Dictionary increments per kind: the term that separates dict
+        # candidates. A flat token sample keeps this under a millisecond.
+        tokens = [term for entries_ in doc_entries for term, _ in entries_]
+        tokens = tokens[:4096] or ["x"]
+        for kind in PLANNER_KINDS:
+            d = make_dict(kind)
+            t0 = time.perf_counter()
+            for token in tokens:
+                d.increment(token)
+            store.dict_ns_per_op[kind] = (
+                (time.perf_counter() - t0) / len(tokens) * 1e9
+            )
+
+        store.shm_setup_s = _probe_shm_setup()
+        if measure_pool:
+            store.pool_spawn_s_per_worker = _probe_pool_spawn()
+        return store
+
+    # -- fitting: feedback from traced runs ------------------------------------------
+
+    def observe_run(self, result, n_docs: int) -> None:
+        """Blend a finished run's measurements into the constants.
+
+        ``result`` is a :class:`~repro.core.pipeline.RealRunResult`;
+        worker-side compute comes from its trace (``busy_s / n_items``
+        per phase — requires ``trace=True``), byte constants from its
+        IPC snapshot. Phases absent from the run are left untouched.
+        """
+        if n_docs <= 0:
+            return
+        totals = result.trace.phase_totals() if result.trace else {}
+        for phase, t in totals.items():
+            if t["n_items"] <= 0 or phase not in self.phases:
+                continue
+            measured = t["busy_s"] / t["n_items"] * 1e9
+            constants = self.phases[phase]
+            constants.compute_ns_per_doc = _blend(
+                constants.compute_ns_per_doc, measured
+            )
+        ipc = result.ipc if isinstance(result.ipc, dict) else {}
+        for phase, counters in ipc.get("phases", {}).items():
+            if phase not in self.phases:
+                continue
+            constants = self.phases[phase]
+            task_bytes = counters.get("task_pickle_bytes", 0)
+            result_bytes = counters.get("result_pickle_bytes", 0)
+            if task_bytes:
+                constants.task_bytes_per_doc = _blend(
+                    constants.task_bytes_per_doc, task_bytes / n_docs
+                )
+            if result_bytes:
+                constants.result_bytes_per_doc = _blend(
+                    constants.result_bytes_per_doc, result_bytes / n_docs
+                )
+        self.samples += n_docs
+        if self.source in ("default", "probe"):
+            self.source = "observed"
+
+    def dict_factor_ns(self, kind: str) -> float:
+        """Per-op cost for ``kind``; unknown kinds cost the known median."""
+        if kind in self.dict_ns_per_op:
+            return self.dict_ns_per_op[kind]
+        known = sorted(self.dict_ns_per_op.values())
+        return known[len(known) // 2] if known else 50.0
+
+    def describe(self) -> str:
+        return f"{self.source} ({self.samples} docs sampled)"
+
+
+def _blend(old: float, new: float) -> float:
+    if old <= 0:
+        return new
+    return (1.0 - _BLEND) * old + _BLEND * new
+
+
+def _host() -> dict:
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _probe_shm_setup() -> float:
+    """Time one small shared-segment place+close (0.0 when unavailable)."""
+    from repro.exec.shm import IpcStats, ShmPlane, shm_available
+
+    if not shm_available():
+        return 0.0
+    plane = ShmPlane(stats=IpcStats())
+    t0 = time.perf_counter()
+    shared = plane.place("calibration", {"x": np.zeros(64)})
+    shared.close()
+    return time.perf_counter() - t0
+
+
+def _probe_pool_spawn() -> float:
+    """Fork a one-worker pool, run a no-op, and bill the whole round trip."""
+    from repro.exec.process import ProcessBackend
+
+    t0 = time.perf_counter()
+    backend = ProcessBackend(1)
+    try:
+        backend.map(_noop, [0])
+    finally:
+        backend.close()
+    return time.perf_counter() - t0
+
+
+def _noop(item):
+    return item

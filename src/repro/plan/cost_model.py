@@ -1,0 +1,195 @@
+"""Predict real phase wall time for candidate configurations.
+
+Where :mod:`repro.core.cost_model` prices *virtual* machines, this model
+prices the host it runs on: a :class:`PhasePlan` names one candidate
+configuration (backend tier × workers × shm × grain × dictionary kind ×
+fused-or-not) and :meth:`RealCostModel.predict` multiplies it against a
+:class:`~repro.plan.calibration.CalibrationStore`'s measured constants:
+
+``predicted = compute / effective_parallelism + pickle(task + result
+bytes, both directions) + pool spawn + shm setup + per-task overhead +
+dictionary merge + last-chunk imbalance``
+
+The terms mirror how the backends actually spend time — threads get no
+compute division (CPython's GIL serializes the CPU-bound kernels),
+process pools pay one spawn per ``configure`` generation, fusion zeroes
+the transform's corpus-sized task pickles but keeps its result pickles —
+so on a 1-CPU host the model *discovers* that sequential wins at small
+scale, rather than being told.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import os
+
+from repro.dicts.factory import DEFAULT_KIND
+from repro.errors import ConfigurationError
+from repro.exec.parallel import auto_grain
+from repro.plan.calibration import CalibrationStore
+
+__all__ = ["PhasePlan", "PhaseWorkload", "PhaseEstimate", "RealCostModel"]
+
+#: Pickled size of a flush-task descriptor tuple on the fused path
+#: (chunk id + ShmArraysDescriptor) — constant, a few hundred bytes.
+_FUSED_TASK_BYTES = 400
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One candidate configuration for one phase."""
+
+    phase: str
+    backend: str  # "sequential" | "threads" | "processes"
+    workers: int = 1
+    shm: bool = False
+    #: Items per task; ``None`` = the backend's Cilk-style auto grain.
+    grain: int | None = None
+    dict_kind: str = DEFAULT_KIND
+    #: True on a transform plan fused into the preceding word count:
+    #: same backend instance, worker-resident intermediates, no respawn.
+    fused_with_previous: bool = False
+
+    def describe(self) -> str:
+        backend = self.backend
+        if self.backend != "sequential":
+            backend = f"{self.backend}-{self.workers}"
+        if self.shm:
+            backend += "+shm"
+        if self.phase == "kmeans":
+            # Blocking and merge order are part of the output contract;
+            # grain and dictionary kind are not knobs here.
+            return backend
+        grain = "auto" if self.grain is None else str(self.grain)
+        label = f"{backend} grain={grain} dict={self.dict_kind}"
+        if self.fused_with_previous:
+            label += " (fused)"
+        return label
+
+
+@dataclass(frozen=True)
+class PhaseWorkload:
+    """What a phase must chew through (the cost model's multiplicand)."""
+
+    phase: str
+    n_docs: int
+    input_bytes: int = 0
+    #: Assignment passes for ``kmeans`` (constants are per doc per pass).
+    iterations: int = 1
+
+
+@dataclass
+class PhaseEstimate:
+    """A costed candidate: predicted seconds plus the term breakdown."""
+
+    plan: PhasePlan
+    predicted_s: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def penalty_vs(self, best: "PhaseEstimate") -> str:
+        """Human line: where this candidate loses against ``best``."""
+        gap = self.predicted_s - best.predicted_s
+        terms = sorted(
+            (
+                (term, self.breakdown.get(term, 0.0) - best.breakdown.get(term, 0.0))
+                for term in set(self.breakdown) | set(best.breakdown)
+            ),
+            key=lambda entry: -entry[1],
+        )
+        worst = [f"{term} +{delta:.3f}s" for term, delta in terms[:2] if delta > 1e-4]
+        suffix = f" ({', '.join(worst)})" if worst else ""
+        return f"+{gap:.3f}s{suffix}"
+
+
+class RealCostModel:
+    """Price a :class:`PhasePlan` against measured constants."""
+
+    def __init__(
+        self, calibration: CalibrationStore, cpu_count: int | None = None
+    ) -> None:
+        self.calibration = calibration
+        self.cpu_count = cpu_count or os.cpu_count() or 1
+
+    def predict(
+        self, workload: PhaseWorkload, plan: PhasePlan
+    ) -> PhaseEstimate:
+        """Predicted wall seconds for running ``workload`` under ``plan``."""
+        c = self.calibration
+        try:
+            constants = c.phases[workload.phase]
+        except KeyError:
+            raise ConfigurationError(
+                f"calibration store has no constants for phase "
+                f"{workload.phase!r} (has: {sorted(c.phases)})"
+            ) from None
+        n = max(0, workload.n_docs)
+        passes = workload.iterations if workload.phase == "kmeans" else 1
+        compute_s = n * passes * constants.compute_ns_per_doc * 1e-9
+        # Parent-side dictionary merge: charged once, scaled by the
+        # candidate's dictionary implementation.
+        dict_s = (
+            n * constants.merge_ops_per_doc * c.dict_factor_ns(plan.dict_kind)
+            * 1e-9
+        )
+
+        grain = plan.grain or auto_grain(n, plan.workers)
+        n_tasks = -(-n // grain) if n else 0
+
+        breakdown: dict[str, float]
+        if plan.backend == "sequential":
+            breakdown = {"compute": compute_s, "dict": dict_s}
+        elif plan.backend == "threads":
+            # The kernels are CPU-bound pure Python: the GIL serializes
+            # them, so threads pay overhead without gaining parallelism.
+            breakdown = {
+                "compute": compute_s,
+                "dict": dict_s,
+                "task_overhead": n_tasks * c.task_overhead_s,
+            }
+        elif plan.backend == "processes":
+            p = max(1, min(plan.workers, self.cpu_count))
+            task_bpd = constants.task_bytes_per_doc
+            if plan.fused_with_previous and workload.phase == "transform":
+                # Fusion: per-doc entries stay worker-resident; each task
+                # ships only a constant-size descriptor token.
+                task_bytes = n_tasks * _FUSED_TASK_BYTES * passes
+            elif plan.shm and constants.shm_task_bytes_per_doc < task_bpd:
+                task_bytes = n * passes * constants.shm_task_bytes_per_doc
+            else:
+                task_bytes = n * passes * task_bpd
+            result_bytes = n * passes * constants.result_bytes_per_doc
+            pickle_s = (
+                (task_bytes + result_bytes)
+                * (c.pickle_ns_per_byte + c.unpickle_ns_per_byte)
+                * 1e-9
+            )
+            # One pool generation per configure: every unfused phase
+            # reconfigures its initializer, so every unfused phase pays a
+            # spawn. A fused transform inherits the word count's pool.
+            spawn_s = (
+                0.0
+                if plan.fused_with_previous
+                else c.pool_spawn_s_per_worker * plan.workers
+            )
+            shm_s = c.shm_setup_s * (1 if plan.shm else 0)
+            # Last-chunk imbalance: the final grain-sized task has no
+            # peers to overlap with; bounded by one task's compute.
+            imbalance_s = (
+                (compute_s / max(1, n_tasks)) * (p - 1) / p if p > 1 else 0.0
+            )
+            breakdown = {
+                "compute": compute_s / p,
+                "dict": dict_s,
+                "pickle": pickle_s,
+                "spawn": spawn_s,
+                "shm_setup": shm_s,
+                "task_overhead": n_tasks * c.task_overhead_s,
+                "imbalance": imbalance_s,
+            }
+        else:
+            raise ConfigurationError(
+                f"unknown backend tier {plan.backend!r} in {plan}"
+            )
+        total = sum(breakdown.values())
+        return PhaseEstimate(plan=plan, predicted_s=total, breakdown=breakdown)

@@ -1,0 +1,287 @@
+"""Adaptive per-phase planning for the real execution path.
+
+The :class:`AdaptivePlanner` enumerates candidate
+:class:`~repro.plan.cost_model.PhasePlan` configurations — backend tier ×
+worker count × shm on/off × chunk grain × dictionary implementation, plus
+the fused wc→transform variant — prices each with the
+:class:`~repro.plan.cost_model.RealCostModel`, and picks the argmin:
+
+* ``input+wc`` and ``transform`` are planned **jointly**, because fusion
+  couples them (a fused transform must run on the word count's backend
+  and pool generation) and because fusion changes *both* phases' IPC
+  bills;
+* ``kmeans`` is planned independently — its blocking and merge order are
+  part of the output contract, so only backend/workers/shm vary.
+
+The result is a :class:`RealPlan` whose :meth:`~RealPlan.explain` walks
+the rejected candidates with the cost terms that sank them — the
+planner's work is auditable, not an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dicts.factory import PLANNER_KINDS, dict_candidate_pairs
+from repro.errors import PlannerError
+from repro.exec.shm import shm_available
+from repro.plan.calibration import CalibrationStore
+from repro.plan.cost_model import (
+    PhaseEstimate,
+    PhasePlan,
+    PhaseWorkload,
+    RealCostModel,
+)
+
+__all__ = ["PairEstimate", "RealPlan", "AdaptivePlanner"]
+
+#: How many rejected candidates explain() narrates per section.
+_EXPLAIN_TOP = 5
+
+
+@dataclass
+class PairEstimate:
+    """A costed joint (word count, transform) candidate."""
+
+    wc: PhaseEstimate
+    transform: PhaseEstimate
+    fused: bool
+
+    @property
+    def predicted_s(self) -> float:
+        return self.wc.predicted_s + self.transform.predicted_s
+
+    def describe(self) -> str:
+        if self.fused:
+            return (
+                f"fused {self.wc.plan.describe()} → "
+                f"dict={self.transform.plan.dict_kind}"
+            )
+        return f"{self.wc.plan.describe()} → {self.transform.plan.describe()}"
+
+
+@dataclass
+class RealPlan:
+    """The chosen per-phase configuration, with its audit trail."""
+
+    phases: dict[str, PhasePlan]
+    #: Ranked joint candidates for wc+transform, cheapest first.
+    pair_candidates: list[PairEstimate] = field(default_factory=list)
+    #: Ranked kmeans candidates, cheapest first.
+    kmeans_candidates: list[PhaseEstimate] = field(default_factory=list)
+    calibration: str = "unknown"
+    n_docs: int = 0
+
+    @property
+    def fused(self) -> bool:
+        transform = self.phases.get("transform")
+        return bool(transform and transform.fused_with_previous)
+
+    @property
+    def predicted_total_s(self) -> float:
+        total = 0.0
+        if self.pair_candidates:
+            total += self.pair_candidates[0].predicted_s
+        if self.kmeans_candidates:
+            total += self.kmeans_candidates[0].predicted_s
+        return total
+
+    def describe(self) -> str:
+        """One line per phase, e.g. for CLI output."""
+        return ", ".join(
+            f"{phase}={plan.describe()}" for phase, plan in self.phases.items()
+        )
+
+    def summary_dict(self) -> dict:
+        """JSON-able view (benchmark records embed this)."""
+        return {
+            "phases": {
+                phase: plan.describe() for phase, plan in self.phases.items()
+            },
+            "fused": self.fused,
+            "predicted_total_s": self.predicted_total_s,
+            "calibration": self.calibration,
+            "n_docs": self.n_docs,
+        }
+
+    def explain(self) -> str:
+        """Narrative of the chosen candidates and why the rest lost."""
+        lines = [
+            f"Plan for {self.n_docs} documents "
+            f"(calibration: {self.calibration}; "
+            f"predicted total {self.predicted_total_s:.3f}s)"
+        ]
+        if self.pair_candidates:
+            best = self.pair_candidates[0]
+            lines.append(
+                f"  input+wc → transform: {best.describe()}  "
+                f"[predicted {best.predicted_s:.3f}s]"
+            )
+            for candidate in self.pair_candidates[1:_EXPLAIN_TOP + 1]:
+                gap = candidate.predicted_s - best.predicted_s
+                # Attribute the gap to its two worst terms across both
+                # phases, so the narrative names the sinking cost.
+                merged_best = _merged_breakdown(best)
+                merged = _merged_breakdown(candidate)
+                terms = sorted(
+                    (
+                        (term, merged.get(term, 0.0) - merged_best.get(term, 0.0))
+                        for term in set(merged) | set(merged_best)
+                    ),
+                    key=lambda entry: -entry[1],
+                )
+                worst = ", ".join(
+                    f"{term} +{delta:.3f}s"
+                    for term, delta in terms[:2]
+                    if delta > 1e-4
+                )
+                suffix = f" ({worst})" if worst else ""
+                lines.append(
+                    f"    rejected: {candidate.describe()}  "
+                    f"+{gap:.3f}s{suffix}"
+                )
+        if self.kmeans_candidates:
+            best = self.kmeans_candidates[0]
+            lines.append(
+                f"  kmeans: {best.plan.describe()}  "
+                f"[predicted {best.predicted_s:.3f}s]"
+            )
+            for candidate in self.kmeans_candidates[1:_EXPLAIN_TOP + 1]:
+                lines.append(
+                    f"    rejected: {candidate.plan.describe()}  "
+                    f"{candidate.penalty_vs(best)}"
+                )
+        return "\n".join(lines)
+
+
+def _merged_breakdown(pair: PairEstimate) -> dict[str, float]:
+    merged: dict[str, float] = dict(pair.wc.breakdown)
+    for term, value in pair.transform.breakdown.items():
+        merged[term] = merged.get(term, 0.0) + value
+    return merged
+
+
+class AdaptivePlanner:
+    """Enumerate-and-cost planner over the real backends."""
+
+    def __init__(
+        self,
+        calibration: CalibrationStore,
+        cpu_count: int | None = None,
+        worker_options: tuple[int, ...] = (1, 2, 4),
+        dict_kinds: tuple[str, ...] = PLANNER_KINDS,
+        mixed_dicts: bool = True,
+        grain_options: tuple[int | None, ...] = (None,),
+        shm_ok: bool | None = None,
+    ) -> None:
+        self.calibration = calibration
+        self.model = RealCostModel(calibration, cpu_count=cpu_count)
+        self.worker_options = worker_options
+        self.dict_kinds = dict_kinds
+        self.mixed_dicts = mixed_dicts
+        self.grain_options = grain_options
+        self.shm_ok = shm_available() if shm_ok is None else shm_ok
+
+    # -- candidate enumeration ------------------------------------------------------
+
+    def _configs(self) -> list[tuple[str, int, bool]]:
+        """(backend, workers, shm) combinations, simplest first.
+
+        Order matters: the argmin sort is stable, so ties resolve toward
+        the earliest (simplest) configuration — sequential before
+        threads before processes.
+        """
+        configs: list[tuple[str, int, bool]] = [("sequential", 1, False)]
+        for workers in self.worker_options:
+            configs.append(("threads", workers, False))
+        for workers in self.worker_options:
+            configs.append(("processes", workers, False))
+            if self.shm_ok:
+                configs.append(("processes", workers, True))
+        return configs
+
+    @staticmethod
+    def _supports_fusion(backend: str, shm: bool) -> bool:
+        # In-process backends share an address space (trivially resident);
+        # the process backend needs the shm plane to ship the vocabulary
+        # without a pool-recycling configure.
+        return backend != "processes" or shm
+
+    # -- planning --------------------------------------------------------------------
+
+    def plan(
+        self,
+        n_docs: int,
+        input_bytes: int = 0,
+        kmeans_iters: int = 10,
+    ) -> RealPlan:
+        """Pick the per-phase argmin for a corpus of ``n_docs``."""
+        if n_docs <= 0:
+            raise PlannerError("cannot plan for an empty corpus")
+        wl_wc = PhaseWorkload("input+wc", n_docs, input_bytes=input_bytes)
+        wl_tr = PhaseWorkload("transform", n_docs)
+        wl_km = PhaseWorkload("kmeans", n_docs, iterations=kmeans_iters)
+
+        configs = self._configs()
+        pairs: list[PairEstimate] = []
+        for wc_kind, tr_kind in dict_candidate_pairs(
+            self.dict_kinds, mixed=self.mixed_dicts
+        ):
+            for backend1, workers1, shm1 in configs:
+                for grain1 in self.grain_options:
+                    wc_plan = PhasePlan(
+                        "input+wc", backend1, workers1, shm1,
+                        grain=grain1, dict_kind=wc_kind,
+                    )
+                    wc_est = self.model.predict(wl_wc, wc_plan)
+                    # Unfused: transform free to pick any configuration
+                    # (run_pipeline rebinds backends between phases).
+                    for backend2, workers2, shm2 in configs:
+                        for grain2 in self.grain_options:
+                            tr_plan = PhasePlan(
+                                "transform", backend2, workers2, shm2,
+                                grain=grain2, dict_kind=tr_kind,
+                            )
+                            pairs.append(
+                                PairEstimate(
+                                    wc=wc_est,
+                                    transform=self.model.predict(wl_tr, tr_plan),
+                                    fused=False,
+                                )
+                            )
+                    # Fused: transform bound to the word count's config.
+                    if self._supports_fusion(backend1, shm1):
+                        fused_plan = PhasePlan(
+                            "transform", backend1, workers1, shm1,
+                            grain=grain1, dict_kind=tr_kind,
+                            fused_with_previous=True,
+                        )
+                        pairs.append(
+                            PairEstimate(
+                                wc=wc_est,
+                                transform=self.model.predict(wl_tr, fused_plan),
+                                fused=True,
+                            )
+                        )
+        pairs.sort(key=lambda pair: pair.predicted_s)
+
+        kmeans: list[PhaseEstimate] = [
+            self.model.predict(
+                wl_km, PhasePlan("kmeans", backend, workers, shm)
+            )
+            for backend, workers, shm in configs
+        ]
+        kmeans.sort(key=lambda estimate: estimate.predicted_s)
+
+        best_pair, best_km = pairs[0], kmeans[0]
+        return RealPlan(
+            phases={
+                "input+wc": best_pair.wc.plan,
+                "transform": best_pair.transform.plan,
+                "kmeans": best_km.plan,
+            },
+            pair_candidates=pairs,
+            kmeans_candidates=kmeans,
+            calibration=self.calibration.describe(),
+            n_docs=n_docs,
+        )

@@ -280,3 +280,59 @@ class TestMakeBackend:
     def test_unknown_name_raises(self):
         with pytest.raises(ConfigurationError):
             make_backend("gpu", 2)
+
+
+class TestEmptyInput:
+    """Empty inputs must not spawn worker pools and must return []."""
+
+    @pytest.mark.parametrize("name", BACKEND_CHOICES)
+    def test_map_and_map_stream_return_empty(self, name):
+        backend = make_backend(name, 2)
+        try:
+            assert backend.map(_square, []) == []
+            assert backend.map_stream(_square, iter([])) == []
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("name", ["threads", "processes"])
+    def test_no_pool_spawned(self, name):
+        backend = make_backend(name, 2)
+        try:
+            backend.map(_square, [])
+            assert backend._pool is None
+            backend.map_stream(_square, iter([]))
+            assert backend._pool is None
+            # An empty generator must be fully drained before deciding —
+            # peeking one item is what keeps the pool unspawned.
+            backend.map_stream(_square, (x for x in ()))
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("name", ["threads", "processes"])
+    def test_no_pool_spawned_resilient(self, name):
+        from repro.exec.resilience import ResilienceConfig, RetryPolicy
+
+        backend = make_backend(
+            name, 2,
+            resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=2)),
+        )
+        try:
+            assert backend.map(_square, []) == []
+            assert backend.map_stream(_square, iter([])) == []
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+    def test_identical_across_backends(self):
+        outputs = []
+        for name in BACKEND_CHOICES:
+            backend = make_backend(name, 2)
+            try:
+                outputs.append(
+                    (backend.map(_square, []),
+                     backend.map_stream(_square, iter([])))
+                )
+            finally:
+                backend.close()
+        assert all(out == outputs[0] for out in outputs)

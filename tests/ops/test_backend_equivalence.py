@@ -221,6 +221,106 @@ class TestShmEquivalence:
         )
 
 
+class TestPlannedEquivalence:
+    """``plan="auto"`` changes scheduling only, never output bits.
+
+    The adaptive planner may split phases across backends and fuse
+    wc→transform; every planned run must still be bit-identical to every
+    fixed-configuration run — including k-means centroids, compared raw.
+    """
+
+    @pytest.fixture(scope="class")
+    def calibration(self, corpus):
+        from repro.plan import CalibrationStore
+
+        return CalibrationStore.probe(corpus)
+
+    def _fingerprint(self, result):
+        return (
+            _matrix_entries(result.tfidf),
+            result.tfidf.vocabulary,
+            result.tfidf.idf,
+            result.kmeans.assignments,
+            result.kmeans.centroids.tobytes(),
+            result.kmeans.inertia_history,
+        )
+
+    def _fixed(self, corpus, backend_name, workers, shm=None):
+        backend = make_backend(backend_name, workers, shm=shm)
+        try:
+            return run_pipeline(
+                corpus,
+                backend=backend,
+                tfidf=TfIdfOperator(),
+                kmeans=KMeansOperator(max_iters=3),
+            )
+        finally:
+            backend.close()
+
+    def test_auto_plan_identical_to_every_fixed_config(
+        self, corpus, calibration
+    ):
+        planned = run_pipeline(
+            corpus,
+            plan="auto",
+            calibration=calibration,
+            tfidf=TfIdfOperator(),
+            kmeans=KMeansOperator(max_iters=3),
+        )
+        assert planned.backend_name == "planned"
+        assert planned.plan is not None
+        reference = self._fingerprint(planned)
+
+        configs = [
+            ("sequential", 1, None),
+            ("threads", 2, None),
+            ("processes", 2, None),
+        ]
+        if shm_available():
+            configs.append(("processes", 1, True))
+        for backend_name, workers, shm in configs:
+            fixed = self._fixed(corpus, backend_name, workers, shm)
+            assert self._fingerprint(fixed) == reference, (
+                f"planned output diverged from {backend_name}-{workers}"
+                f"{'+shm' if shm else ''}"
+            )
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shm")
+    def test_fused_plan_identical_and_cuts_transform_ipc(
+        self, corpus, calibration
+    ):
+        from repro.plan import PhasePlan, RealPlan
+
+        fused_plan = RealPlan(
+            phases={
+                "input+wc": PhasePlan("input+wc", "processes", 1, True),
+                "transform": PhasePlan(
+                    "transform", "processes", 1, True,
+                    fused_with_previous=True,
+                ),
+                "kmeans": PhasePlan("kmeans", "processes", 1, True),
+            },
+            calibration=calibration.describe(),
+            n_docs=len(corpus),
+        )
+        fused = run_pipeline(
+            corpus,
+            plan=fused_plan,
+            tfidf=TfIdfOperator(),
+            kmeans=KMeansOperator(max_iters=3),
+        )
+        unfused = self._fixed(corpus, "processes", 1, shm=True)
+        assert self._fingerprint(fused) == self._fingerprint(unfused)
+
+        # Worker-resident fusion must show up in the transport bill: the
+        # fused transform re-ships no per-doc counts, so its task pickles
+        # collapse to per-task envelopes.
+        fused_bytes = fused.ipc["phases"]["transform"]["task_pickle_bytes"]
+        unfused_bytes = unfused.ipc["phases"]["transform"]["task_pickle_bytes"]
+        assert fused_bytes < unfused_bytes / 10
+        assert fused.plan.fused
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="speedup measurement needs a multi-core host",

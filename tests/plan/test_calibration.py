@@ -1,0 +1,146 @@
+"""Calibration store: probe, persistence round-trip, observed-run fits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.exec.process import make_backend
+from repro.exec.spans import SpanRecorder, RunTrace
+from repro.plan import CalibrationStore, PhaseConstants, PhasePlan, PhaseWorkload, RealCostModel
+from repro.text.synth import MIX_PROFILE, generate_corpus
+
+PHASES = ("input+wc", "transform", "kmeans")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.002, seed=7)
+
+
+@pytest.fixture(scope="module")
+def probed(corpus):
+    return CalibrationStore.probe(corpus)
+
+
+class TestProbe:
+    def test_fits_every_phase(self, probed):
+        for phase in PHASES:
+            constants = probed.phases[phase]
+            assert constants.compute_ns_per_doc > 0
+            assert constants.task_bytes_per_doc > 0
+            assert constants.result_bytes_per_doc > 0
+        assert probed.pickle_ns_per_byte > 0
+        assert probed.unpickle_ns_per_byte > 0
+        assert probed.samples >= 16
+        assert probed.source == "probe"
+        assert "probe" in probed.describe()
+
+    def test_dict_factors_cover_planner_kinds(self, probed):
+        from repro.dicts.factory import PLANNER_KINDS
+
+        for kind in PLANNER_KINDS:
+            assert probed.dict_factor_ns(kind) > 0
+        # Unknown kinds fall back to the median of the known factors.
+        known = sorted(probed.dict_ns_per_op.values())
+        assert probed.dict_factor_ns("nope") == known[len(known) // 2]
+
+    def test_probe_rejects_empty_corpus(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CalibrationStore.probe([])
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self, probed):
+        clone = CalibrationStore.from_dict(probed.to_dict())
+        assert clone.to_dict() == probed.to_dict()
+
+    def test_save_load_preserves_predictions(self, probed, tmp_path):
+        path = str(tmp_path / "calib.json")
+        probed.save(path)
+        loaded = CalibrationStore.load(path)
+        workload = PhaseWorkload("transform", 1000)
+        for plan in (
+            PhasePlan("transform", "sequential"),
+            PhasePlan("transform", "threads", 4),
+            PhasePlan("transform", "processes", 2, True),
+        ):
+            a = RealCostModel(probed, cpu_count=2).predict(workload, plan)
+            b = RealCostModel(loaded, cpu_count=2).predict(workload, plan)
+            assert a.predicted_s == b.predicted_s
+            assert a.breakdown == b.breakdown
+
+    def test_load_or_probe_persists_then_reloads(self, corpus, tmp_path):
+        path = str(tmp_path / "calib.json")
+        first = CalibrationStore.load_or_probe(path, corpus)
+        second = CalibrationStore.load_or_probe(path, corpus)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestObserveRun:
+    def test_fit_from_synthetic_spans_and_ipc(self):
+        """Fitting on a known-constant run converges within tolerance."""
+        store = CalibrationStore(
+            phases={phase: PhaseConstants() for phase in PHASES}
+        )
+        # Synthesize a trace whose busy time is exactly 1ms/doc in each
+        # phase, and an IPC snapshot shipping exactly 100/50 bytes/doc.
+        recorder = SpanRecorder()
+        recorder.begin_run()
+        n_docs = 200
+        for phase in PHASES:
+            recorder.set_phase(phase)
+            start = recorder.now()
+            recorder.record_worker_span(
+                (phase, 0, 0, start, start + n_docs * 1e-3, n_docs, 0, 0, 0.0)
+            )
+        trace = RunTrace.from_recorder(recorder, {}, "synthetic", 1)
+
+        class FakeResult:
+            pass
+
+        result = FakeResult()
+        result.trace = trace
+        result.ipc = {
+            "phases": {
+                phase: {
+                    "task_pickle_bytes": 100 * n_docs,
+                    "result_pickle_bytes": 50 * n_docs,
+                }
+                for phase in PHASES
+            }
+        }
+        # Blending from zero adopts the measurement outright; a second
+        # observation of the same run must leave it fixed.
+        for _ in range(2):
+            store.observe_run(result, n_docs)
+        for phase in PHASES:
+            constants = store.phases[phase]
+            assert constants.compute_ns_per_doc == pytest.approx(1e6, rel=0.01)
+            assert constants.task_bytes_per_doc == pytest.approx(100, rel=0.01)
+            assert constants.result_bytes_per_doc == pytest.approx(50, rel=0.01)
+        assert store.source == "observed"
+        assert store.samples == 2 * n_docs
+
+    def test_observed_real_run_stays_within_tolerance(self, corpus, probed):
+        """A probe-seeded store predicts a real traced run within 10x.
+
+        Wall-clock noise on shared CI makes tight bounds flaky; the
+        planner only needs the *ordering* of candidates to be right, so
+        this guards against unit errors (ns vs s, per-doc vs per-run),
+        not timer jitter.
+        """
+        backend = make_backend("sequential")
+        result = run_pipeline(corpus, backend=backend, trace=True)
+        backend.close()
+        model = RealCostModel(probed, cpu_count=1)
+        for phase in ("input+wc", "transform"):
+            predicted = model.predict(
+                PhaseWorkload(phase, len(corpus)),
+                PhasePlan(phase, "sequential"),
+            ).predicted_s
+            actual = result.phase_seconds[phase]
+            assert predicted < 10 * max(actual, 1e-4)
+            assert actual < 10 * max(predicted, 1e-4)

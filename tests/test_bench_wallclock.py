@@ -30,9 +30,11 @@ class TestBenchWallclock:
             scale=0.002, workers=(1, 2), repeats=1, kmeans_iters=2
         )
         assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "backends"
         assert record["profile"] == "mix"
         assert record["n_docs"] > 0
         assert record["host"]["cpu_count"] == os.cpu_count()
+        assert record["config"]["workers"] == [1, 2]
 
         runs = record["runs"]
         # sequential once, then 2 worker counts x 2 pooled backends.
@@ -116,8 +118,9 @@ class TestBenchReadSweep:
             kmeans_iters=2,
             corpus_dir=str(tmp_path / "corpus"),
         )
-        assert record["benchmark"] == "wallclock-read"
-        assert record["backend"] == "sequential"
+        assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "read"
+        assert record["config"]["backend"] == "sequential"
         assert record["n_docs"] > 0
         assert [run["read_workers"] for run in record["runs"]] == [1, 2]
         assert record["runs"][0]["speedup_vs_serial_input"] == 1.0
@@ -135,9 +138,10 @@ class TestBenchIpcSweep:
         record = bench_ipc_sweep(
             scale=0.002, workers=(2,), repeats=1, kmeans_iters=2
         )
-        assert record["benchmark"] == "wallclock-ipc"
+        assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "ipc"
         assert record["n_docs"] > 0
-        assert record["shm_available"] == shm_available()
+        assert record["config"]["shm_available"] == shm_available()
 
         runs = record["runs"]
         expected_modes = [False, True] if shm_available() else [False]
@@ -176,6 +180,54 @@ class TestBenchIpcSweep:
         assert shm < pickled / 100
         assert by_mode[True]["ipc"]["total"]["segments"] > 0
         assert by_mode[False]["ipc"]["total"]["segments"] == 0
+
+
+class TestBenchPlan:
+    def test_record_structure_equivalence_and_fusion(self):
+        from repro.bench.wallclock import bench_plan
+
+        # Generous tolerance: this test guards structure and equivalence,
+        # not timing — the 10% gate is exercised by the CI smoke where a
+        # single flake does not fail the whole tier-1 suite.
+        record = bench_plan(
+            scale=0.002, repeats=1, kmeans_iters=2,
+            process_workers=1, tolerance=5.0,
+        )
+        assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "plan"
+        assert record["config"]["process_workers"] == 1
+        assert "calibration" in record["config"]
+
+        configs = [run["config"] for run in record["runs"]]
+        assert configs[:3] == ["sequential", "processes-1", "planned"]
+        for run in record["runs"]:
+            assert run["output_identical"] is True
+            assert run["ok"] is True
+
+        planned = record["runs"][2]
+        assert planned["planned"] is True
+        assert set(planned["plan"]["phases"]) == {
+            "input+wc", "transform", "kmeans"
+        }
+        assert planned["plan_seconds"] >= 0.0
+
+        pvf = record["planned_vs_fixed"]
+        assert pvf["within_tolerance"] is True
+        assert pvf["best_fixed_config"] in ("sequential", "processes-1")
+        assert pvf["planned_phase_floor_s"] > 0.0
+
+        if shm_available():
+            fusion = record["fusion"]
+            assert fusion["ok"] is True
+            # The fused transform keeps per-doc counts worker-resident:
+            # its task pickles must be a sliver of the unfused bill.
+            assert (
+                fusion["fused_transform_task_bytes"]
+                < fusion["unfused_transform_task_bytes"]
+            )
+            assert fusion["eliminated_bytes"] > 0
+        else:
+            assert record["fusion"] is None
 
 
 class TestBenchWallclockTool:
@@ -241,7 +293,8 @@ class TestBenchWallclockTool:
         assert isinstance(records, list) and len(records) == 2
         assert records[0] == legacy
         read_record = records[1]
-        assert read_record["benchmark"] == "wallclock-read"
+        assert read_record["benchmark"] == "wallclock"
+        assert read_record["mode"] == "read"
         assert [run["read_workers"] for run in read_record["runs"]] == [1, 2]
         for run in read_record["runs"]:
             assert run["output_identical"] is True
@@ -272,7 +325,8 @@ class TestBenchWallclockTool:
         )
         assert proc.returncode == 0, proc.stderr
         record = json.loads(out.read_text())
-        assert record["benchmark"] == "wallclock-ipc"
+        assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "ipc"
         for run in record["runs"]:
             assert run["output_identical"] is True
             assert run["ipc"]["total"]["tasks"] > 0

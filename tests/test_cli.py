@@ -301,3 +301,49 @@ class TestAnalyze:
         os.makedirs(empty)
         assert main(["analyze", "--input", empty]) == 1
         assert "no documents" in capsys.readouterr().err
+
+
+class TestPlannedPipeline:
+    """--plan auto: the measured-cost planner drives the real pipeline."""
+
+    def test_plan_flag_defaults(self):
+        args = build_parser().parse_args(["pipeline", "--input", "x"])
+        assert args.plan == "fixed"
+        assert args.calibration is None
+        assert args.explain_plan is False
+        assert args.dict_kind is None  # planner may choose when unpinned
+
+    def test_auto_plan_runs_and_persists_calibration(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        calib = str(tmp_path / "calib.json")
+        clusters = str(tmp_path / "clusters.txt")
+        assert main(["pipeline", "--input", corpus_dir, "--output", clusters,
+                     "--plan", "auto", "--calibration", calib,
+                     "--explain-plan", "--max-iters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "planned in" in out
+        assert "Plan for" in out          # --explain-plan narrative
+        assert "rejected:" in out
+        assert os.path.exists(calib)      # probe persisted for next run
+
+        # Second invocation loads the store instead of re-probing.
+        assert main(["pipeline", "--input", corpus_dir, "--output", clusters,
+                     "--plan", "auto", "--calibration", calib,
+                     "--max-iters", "2"]) == 0
+
+    def test_auto_plan_output_matches_fixed_run(self, corpus_dir, tmp_path):
+        fixed = str(tmp_path / "fixed.txt")
+        planned = str(tmp_path / "planned.txt")
+        assert main(["pipeline", "--input", corpus_dir, "--output", fixed,
+                     "--backend", "sequential", "--max-iters", "2"]) == 0
+        assert main(["pipeline", "--input", corpus_dir, "--output", planned,
+                     "--plan", "auto", "--max-iters", "2"]) == 0
+        assert open(planned).read() == open(fixed).read()
+
+    def test_auto_plan_rejects_resilience_flags(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir,
+                     "--plan", "auto", "--retries", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--plan fixed" in err

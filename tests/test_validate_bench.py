@@ -1,0 +1,110 @@
+"""Tests for the benchmark-envelope validator (tools/validate_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_spec = importlib.util.spec_from_file_location(
+    "validate_bench", os.path.join(REPO, "tools", "validate_bench.py")
+)
+validate_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(validate_bench)
+
+
+def _record(mode="backends", **overrides):
+    record = {
+        "benchmark": "wallclock",
+        "mode": mode,
+        "profile": "mix",
+        "scale": 0.002,
+        "n_docs": 47,
+        "repeats": 1,
+        "kmeans_iters": 2,
+        "host": {"platform": "linux", "python": "3.12", "cpu_count": 1},
+        "config": {"workers": [1, 2]},
+        "runs": [{"total_s": 0.1, "output_identical": True}],
+    }
+    if mode == "plan":
+        record["planned_vs_fixed"] = {"within_tolerance": True}
+        record["fusion"] = None
+    record.update(overrides)
+    return record
+
+
+class TestValidate:
+    def test_accepts_a_list_of_well_formed_records(self):
+        assert validate_bench.validate([_record(), _record(mode="plan")]) == []
+
+    def test_accepts_a_legacy_single_record(self):
+        assert validate_bench.validate(_record()) == []
+
+    def test_rejects_missing_envelope_key(self):
+        record = _record()
+        del record["host"]
+        problems = validate_bench.validate([record])
+        assert any("host" in p for p in problems)
+
+    def test_rejects_unknown_mode(self):
+        problems = validate_bench.validate([_record(mode="vibes")])
+        assert any("unknown mode" in p for p in problems)
+
+    def test_rejects_wrong_benchmark_name(self):
+        problems = validate_bench.validate([_record(benchmark="latency")])
+        assert any("wallclock" in p for p in problems)
+
+    def test_rejects_empty_runs(self):
+        problems = validate_bench.validate([_record(runs=[])])
+        assert any("non-empty" in p for p in problems)
+
+    def test_rejects_failed_self_check(self):
+        record = _record(
+            runs=[{"total_s": 0.1, "output_identical": True, "ok": False}]
+        )
+        problems = validate_bench.validate([record])
+        assert any("self-check" in p for p in problems)
+
+    def test_ok_takes_precedence_over_output_identical(self):
+        # A quarantine run may legitimately differ from the reference as
+        # long as its own self-check ('ok') passes.
+        record = _record(
+            runs=[{"total_s": 0.1, "output_identical": False, "ok": True}]
+        )
+        assert validate_bench.validate([record]) == []
+
+    def test_plan_record_needs_planned_vs_fixed(self):
+        record = _record(mode="plan")
+        del record["planned_vs_fixed"]
+        problems = validate_bench.validate([record])
+        assert any("planned_vs_fixed" in p for p in problems)
+
+    def test_plan_record_outside_tolerance_fails(self):
+        record = _record(
+            mode="plan", planned_vs_fixed={"within_tolerance": False}
+        )
+        problems = validate_bench.validate([record])
+        assert any("tolerance" in p for p in problems)
+
+    def test_plan_record_fusion_must_pass_when_present(self):
+        record = _record(mode="plan", fusion={"ok": False})
+        problems = validate_bench.validate([record])
+        assert any("fusion" in p for p in problems)
+
+    def test_empty_file_is_invalid(self):
+        assert validate_bench.validate([]) != []
+
+
+class TestCli:
+    def test_committed_trajectory_passes(self, capsys):
+        path = os.path.join(REPO, "BENCH_wallclock.json")
+        assert validate_bench.main([path]) == 0
+        assert "valid record" in capsys.readouterr().out
+
+    def test_broken_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([_record(mode="vibes")]))
+        assert validate_bench.main([str(path)]) == 1
+        assert "unknown mode" in capsys.readouterr().err

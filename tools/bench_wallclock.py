@@ -19,6 +19,11 @@ trajectory:
   and wall-clock overhead versus a fault-free run. Recovered runs must be
   bit-identical; the quarantine run must differ by exactly its
   quarantined rows.
+* ``--mode plan`` runs the pipeline under the measured-cost adaptive
+  planner against hard-coded fixed configurations (and the fused
+  wc→transform path against the unfused one where shm is available);
+  exits nonzero if the planned total is not within 10% of the best fixed
+  total, or if fusion fails to eliminate transform task-pickle bytes.
 
 Usage::
 
@@ -52,6 +57,7 @@ from repro.bench.wallclock import (  # noqa: E402
     DEFAULT_WORKER_SWEEP,
     bench_fault_recovery,
     bench_ipc_sweep,
+    bench_plan,
     bench_read_sweep,
     bench_wallclock,
 )
@@ -72,12 +78,14 @@ def _write(out: str, record: dict, append: bool) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["backends", "read", "ipc", "faults"],
+    parser.add_argument("--mode",
+                        choices=["backends", "read", "ipc", "faults", "plan"],
                         default="backends",
                         help="sweep compute backends, read-worker counts "
                         "over an on-disk corpus (paper §3.2), the "
                         "shared-memory plane on/off with IPC accounting, "
-                        "or fault-injection recovery scenarios")
+                        "fault-injection recovery scenarios, or the "
+                        "adaptive planner vs fixed configurations")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -107,6 +115,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="retry budget per task for --mode faults")
     parser.add_argument("--fault-workers", type=int, default=2,
                         help="process workers for --mode faults")
+    parser.add_argument("--calibration", default=None, metavar="PATH",
+                        help="calibration store for --mode plan (JSON; "
+                        "probed from the corpus and persisted when the "
+                        "file does not exist)")
+    parser.add_argument("--process-workers", type=int, default=None,
+                        help="worker count of the fixed process-backend "
+                        "configuration in --mode plan (default: cpu count)")
     parser.add_argument("--out", default=os.path.join(REPO, "BENCH_wallclock.json"))
     parser.add_argument("--append", action="store_true",
                         help="append the record to --out (JSON list) "
@@ -124,7 +139,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.compute_workers is None:
             args.compute_workers = 2
 
-    if args.mode == "faults":
+    if args.mode == "plan":
+        record = bench_plan(
+            profile=args.profile,
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+            calibration=args.calibration,
+            process_workers=args.process_workers,
+        )
+    elif args.mode == "faults":
         record = bench_fault_recovery(
             profile=args.profile,
             scale=args.scale,
@@ -171,7 +196,33 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "faults":
+    if args.mode == "plan":
+        header = f"{'config':>26} {'total_s':>9} {'plan_s':>8} ok"
+        print(header)
+        for run in record["runs"]:
+            plan_s = (
+                f"{run['plan_seconds']:>8.3f}" if "plan_seconds" in run
+                else f"{'-':>8}"
+            )
+            print(f"{run['config']:>26} {run['total_s']:>9.3f} {plan_s} "
+                  f"{'yes' if run['ok'] else 'NO'}")
+        pvf = record["planned_vs_fixed"]
+        print(f"planned vs best fixed ({pvf['best_fixed_config']}): "
+              f"{pvf['ratio']:.2f}x "
+              f"(tolerance {1 + pvf['tolerance']:.2f}x, "
+              f"{'ok' if pvf['within_tolerance'] else 'EXCEEDED'})")
+        planned_run = next(r for r in record["runs"] if r["config"] == "planned")
+        print(f"chosen plan: "
+              + "; ".join(f"{phase}: {desc}" for phase, desc
+                          in planned_run["plan"]["phases"].items()))
+        if record["fusion"] is not None:
+            fus = record["fusion"]
+            print(f"fusion on {fus['config']}: transform task bytes "
+                  f"{fus['unfused_transform_task_bytes']:,} unfused -> "
+                  f"{fus['fused_transform_task_bytes']:,} fused "
+                  f"({fus['eliminated_bytes']:,} eliminated, "
+                  f"{'ok' if fus['ok'] else 'NOT ELIMINATED'})")
+    elif args.mode == "faults":
         header = (f"{'scenario':>18} {'total_s':>9} {'overhead':>9} "
                   f"{'fired':>6} {'retries':>8} {'restarts':>9} "
                   f"{'quarantined':>11} ok")
@@ -209,7 +260,8 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 1
     elif args.mode == "read":
-        print(f"compute: {record['backend']} x {record['workers']}")
+        print(f"compute: {record['config']['backend']} x "
+              f"{record['config']['workers']}")
         header = (f"{'read_workers':>12} {'total_s':>9} {'read_s':>8} "
                   f"{'speedup':>8} identical")
         print(header)
@@ -229,7 +281,8 @@ def main(argv: list[str] | None = None) -> int:
     # *supposed* to differ, by exactly its quarantined rows); everything
     # else must be bit-identical.
     if not all(run.get("ok", run["output_identical"]) for run in record["runs"]):
-        print("error: configurations disagree on operator output", file=sys.stderr)
+        print("error: benchmark self-check failed (output mismatch or "
+              "planned run outside tolerance)", file=sys.stderr)
         return 1
     print(f"wrote {args.out}")
     return 0

@@ -1,0 +1,147 @@
+"""Validate ``BENCH_wallclock.json`` against the uniform record envelope.
+
+Every record the wall-clock bench appends — whatever its mode — must
+share one shape, so the performance trajectory stays machine-readable
+across PRs:
+
+* top level is a list of records (a legacy single record is accepted and
+  reported, but new files should be lists);
+* every record has ``benchmark == "wallclock"``, a known ``mode``
+  (``backends``/``read``/``ipc``/``faults``/``plan``), and the shared
+  envelope keys: ``profile``, ``scale``, ``n_docs``, ``repeats``,
+  ``kmeans_iters``, ``host``, ``config``, ``runs``;
+* ``host`` carries ``platform``/``python``/``cpu_count``; ``config`` is
+  an object (the mode's backend-side knobs); ``runs`` is a non-empty
+  list of objects, each with a numeric ``total_s``;
+* every run passes its own self-check: ``ok`` when present, else
+  ``output_identical``;
+* ``plan`` records additionally carry ``planned_vs_fixed`` (with
+  ``within_tolerance``) and a ``fusion`` section (object or null).
+
+Usage::
+
+    python tools/validate_bench.py BENCH_wallclock.json
+
+Exit code 0 when the file passes, 1 with diagnostics when it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_MODES = {"backends", "read", "ipc", "faults", "plan"}
+
+_ENVELOPE_KEYS = (
+    "benchmark", "mode", "profile", "scale", "n_docs", "repeats",
+    "kmeans_iters", "host", "config", "runs",
+)
+
+_HOST_KEYS = ("platform", "python", "cpu_count")
+
+
+def _validate_record(record: object, label: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"{label}: record is not an object"]
+    for key in _ENVELOPE_KEYS:
+        if key not in record:
+            problems.append(f"{label}: lacks envelope key {key!r}")
+    if problems:
+        return problems
+
+    if record["benchmark"] != "wallclock":
+        problems.append(
+            f"{label}: benchmark must be 'wallclock', got "
+            f"{record['benchmark']!r}"
+        )
+    if record["mode"] not in _MODES:
+        problems.append(
+            f"{label}: unknown mode {record['mode']!r} "
+            f"(expected one of {sorted(_MODES)})"
+        )
+
+    host = record["host"]
+    if not isinstance(host, dict):
+        problems.append(f"{label}: host must be an object")
+    else:
+        for key in _HOST_KEYS:
+            if key not in host:
+                problems.append(f"{label}: host lacks {key!r}")
+    if not isinstance(record["config"], dict):
+        problems.append(f"{label}: config must be an object")
+
+    runs = record["runs"]
+    if not isinstance(runs, list) or not runs:
+        problems.append(f"{label}: runs must be a non-empty list")
+        runs = []
+    for index, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"{label}: run {index} is not an object")
+            continue
+        if not isinstance(run.get("total_s"), (int, float)):
+            problems.append(f"{label}: run {index} lacks numeric 'total_s'")
+        check = run.get("ok", run.get("output_identical"))
+        if check is None:
+            problems.append(
+                f"{label}: run {index} has neither 'ok' nor "
+                f"'output_identical'"
+            )
+        elif not check:
+            problems.append(f"{label}: run {index} failed its self-check")
+
+    if record["mode"] == "plan":
+        pvf = record.get("planned_vs_fixed")
+        if not isinstance(pvf, dict) or "within_tolerance" not in pvf:
+            problems.append(
+                f"{label}: plan record lacks planned_vs_fixed"
+                f".within_tolerance"
+            )
+        elif not pvf["within_tolerance"]:
+            problems.append(f"{label}: planned run outside tolerance")
+        if "fusion" not in record:
+            problems.append(f"{label}: plan record lacks 'fusion'")
+        elif record["fusion"] is not None and not record["fusion"].get("ok"):
+            problems.append(f"{label}: fusion failed to eliminate bytes")
+    return problems
+
+
+def validate(payload: object) -> list[str]:
+    """Return a list of problems (empty = valid)."""
+    records = payload if isinstance(payload, list) else [payload]
+    if not records:
+        return ["file contains no benchmark records"]
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(_validate_record(record, f"record {index}"))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH_wallclock.json file to validate")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.bench, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.bench}: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+
+    records = payload if isinstance(payload, list) else [payload]
+    modes = [record["mode"] for record in records]
+    print(f"{args.bench}: {len(records)} valid record(s) "
+          f"(modes: {', '.join(modes)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
