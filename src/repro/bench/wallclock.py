@@ -29,6 +29,12 @@ seconds on the host. It has two modes:
   one; the planned total must land within :data:`PLAN_TOLERANCE` of the
   best fixed total, and fusion must eliminate transform task-pickle
   bytes.
+* :func:`bench_cache` — cold → warm → incremental triple through the
+  phase-level result cache: the warm run must serve all three phases
+  from disk bit-identically (zero operator recompute), and the
+  incremental run (tail-edited + appended corpus) must recompute only
+  the changed word-count shards while matching an uncached run on the
+  modified corpus exactly.
 
 ``tools/bench_wallclock.py`` wraps these into a CLI that appends records
 to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
@@ -51,6 +57,7 @@ import tempfile
 import time
 from typing import Callable, Sequence
 
+from repro.cache import DEFAULT_SHARD_DOCS, PipelineCache
 from repro.core.pipeline import RealRunResult, run_pipeline
 from repro.errors import BenchmarkError
 from repro.exec.faultinject import FaultPlan, FaultSpec
@@ -64,6 +71,7 @@ from repro.ops.kmeans import KMeansOperator
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator
 from repro.ops.wordcount import PHASE_INPUT_WC
 from repro.plan import CalibrationStore, PhasePlan, RealPlan
+from repro.text.corpus import Document
 from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
 
 __all__ = [
@@ -72,6 +80,7 @@ __all__ = [
     "bench_ipc_sweep",
     "bench_fault_recovery",
     "bench_plan",
+    "bench_cache",
     "DEFAULT_WORKER_SWEEP",
     "DEFAULT_READ_WORKER_SWEEP",
     "PLAN_TOLERANCE",
@@ -842,4 +851,185 @@ def bench_plan(
         runs=runs,
         planned_vs_fixed=planned_vs_fixed,
         fusion=fusion,
+    )
+
+
+def _results_identical(a: RealRunResult, b: RealRunResult) -> bool:
+    """Bit-identity including the raw centroid bytes (stricter than
+    :func:`_matrices_equal`, which caching must not be allowed to relax)."""
+    return (
+        _matrices_equal(a, b)
+        and a.kmeans.centroids.tobytes() == b.kmeans.centroids.tobytes()
+        and a.tfidf.vocabulary == b.tfidf.vocabulary
+    )
+
+
+def bench_cache(
+    profile: str = "mix",
+    scale: float = 0.01,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+    cache_dir: str | None = None,
+) -> dict:
+    """Cold → warm → incremental triple through the phase-level cache.
+
+    Four scenarios per repeat, all sequential (the cache is proven
+    backend-invariant by the equivalence tests; the benchmark measures
+    serving, not parallelism):
+
+    * ``uncached`` — no cache; the reference output and wall clock.
+    * ``cold`` — empty cache directory: every phase must miss, compute,
+      and store (the recorded overhead of populating the cache).
+    * ``warm`` — same corpus, same cache: all three phases must be
+      served from disk (3 hits, 0 misses — zero operator recompute)
+      bit-identically, with bytes/seconds-saved from the accounting.
+    * ``incremental`` — the corpus is tail-edited (last document's text
+      amended) and extended with appended documents, then run against
+      the warm cache: the output must match an uncached run on the
+      modified corpus exactly, and — when the corpus spans more than one
+      content shard — at least one unchanged word-count shard must be
+      reused rather than recomputed.
+
+    ``repeats`` re-runs the whole triple against a fresh cache directory
+    and keeps the triple with the fastest warm run (the headline
+    number); a triple's scenarios are never mixed across repeats.
+    Each entry carries ``ok``; the CLI exits nonzero if any is false.
+    """
+    if profile not in _PROFILES:
+        raise ValueError(f"unknown profile {profile!r}")
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+    base = list(corpus)
+    if not base:
+        raise BenchmarkError(f"empty corpus at scale {scale}")
+
+    tail = base[-1]
+    modified = base[:-1] + [
+        Document(
+            doc_id=tail.doc_id, name=tail.name,
+            text=tail.text + " amended benchmark tail",
+        )
+    ]
+    for i, doc in enumerate(base[: min(8, len(base))]):
+        modified.append(
+            Document(
+                doc_id=len(modified), name=f"added-{i:06d}", text=doc.text
+            )
+        )
+
+    def run(docs, cache: PipelineCache | None) -> RealRunResult:
+        return run_pipeline(
+            docs,
+            tfidf=TfIdfOperator(),
+            kmeans=KMeansOperator(max_iters=kmeans_iters),
+            cache=cache,
+        )
+
+    def timed(docs, cache, label):
+        try:
+            start = time.perf_counter()
+            result = run(docs, cache)
+            return time.perf_counter() - start, result
+        except BenchmarkError:
+            raise
+        except Exception as exc:
+            raise BenchmarkError(f"pipeline failed on {label}: {exc}") from exc
+
+    # Deterministic outputs: the uncached references run once, outside
+    # the repeat loop.
+    uncached_s, reference = timed(base, None, "uncached")
+    incr_ref_s, incr_reference = timed(modified, None, "uncached (modified)")
+
+    best: dict | None = None
+    for _ in range(max(1, repeats)):
+        own_dir = cache_dir is None
+        root = cache_dir or tempfile.mkdtemp(prefix="repro-cache-bench-")
+        try:
+            if not own_dir:
+                # A triple must start cold even on a caller-kept directory.
+                shutil.rmtree(root, ignore_errors=True)
+            cache = PipelineCache(root)
+            cold_s, cold = timed(base, cache, "cold cache run")
+            warm_s, warm = timed(base, cache, "warm cache run")
+            incr_s, incr = timed(modified, cache, "incremental cache run")
+        finally:
+            if own_dir:
+                shutil.rmtree(root, ignore_errors=True)
+        if best is None or warm_s < best["warm_s"]:
+            best = {
+                "cold_s": cold_s, "cold": cold,
+                "warm_s": warm_s, "warm": warm,
+                "incr_s": incr_s, "incr": incr,
+            }
+    assert best is not None
+
+    cold, warm, incr = best["cold"], best["warm"], best["incr"]
+    cold_c, warm_c, incr_c = cold.cache, warm.cache, incr.cache
+    cold_ok = (
+        _results_identical(cold, reference)
+        and cold_c["misses"] == 3
+        and cold_c["hits"] == 0
+        and cold_c["stored"] > 0
+    )
+    warm_ok = (
+        _results_identical(warm, reference)
+        and warm_c["hits"] == 3
+        and warm_c["misses"] == 0
+    )
+    multi_shard = len(base) > DEFAULT_SHARD_DOCS
+    incr_identical = _results_identical(incr, incr_reference)
+    incr_ok = incr_identical and (
+        incr_c["phases"][PHASE_INPUT_WC]["shard_hits"] > 0
+        if multi_shard
+        else True
+    )
+    runs = [
+        {
+            "scenario": "uncached",
+            "total_s": uncached_s,
+            "phases": dict(reference.phase_seconds),
+            "output_identical": True,
+            "ok": True,
+        },
+        {
+            "scenario": "cold",
+            "total_s": best["cold_s"],
+            "phases": dict(cold.phase_seconds),
+            "cache": cold_c,
+            "output_identical": _results_identical(cold, reference),
+            "ok": cold_ok,
+        },
+        {
+            "scenario": "warm",
+            "total_s": best["warm_s"],
+            "phases": dict(warm.phase_seconds),
+            "cache": warm_c,
+            "output_identical": _results_identical(warm, reference),
+            "ok": warm_ok,
+        },
+        {
+            "scenario": "incremental",
+            "total_s": best["incr_s"],
+            "phases": dict(incr.phase_seconds),
+            "cache": incr_c,
+            "uncached_total_s": incr_ref_s,
+            "wc_shard_hits": incr_c["phases"][PHASE_INPUT_WC]["shard_hits"],
+            "output_identical": incr_identical,
+            "ok": incr_ok,
+        },
+    ]
+    return _envelope(
+        "cache", profile, scale, len(base), repeats, kmeans_iters,
+        config={
+            "shard_docs": DEFAULT_SHARD_DOCS,
+            "modified_docs": len(modified),
+            "multi_shard": multi_shard,
+        },
+        runs=runs,
+        cache_summary={
+            "warm_speedup_vs_uncached": uncached_s / max(best["warm_s"], 1e-9),
+            "warm_bytes_served": warm_c["bytes_saved"],
+            "warm_seconds_saved": warm_c["seconds_saved"],
+            "cold_store_overhead_s": best["cold_s"] - uncached_s,
+        },
     )

@@ -1,0 +1,614 @@
+"""Phase-level result cache for ``run_pipeline``, with incremental recompute.
+
+:class:`PipelineCache` wraps a :class:`~repro.cache.store.CacheStore` and
+hands each run a :class:`RunCacheSession` fingerprinted against the
+materialized corpus. The session fronts the three real phases:
+
+* **Full-phase serve** — each phase's output is stored under a key from
+  :mod:`repro.cache.keys` (corpus content × semantic config × code
+  version). A warm run serves all three phases with zero operator
+  recompute and bit-identical output.
+* **Incremental recompute** — the word count and transform additionally
+  store *per-shard* entries (contiguous document runs). On a changed
+  corpus, only shards whose content digest changed are recomputed — via
+  the caller-supplied ``compute_subset``/``compute_rows`` callbacks,
+  which run on whatever backend the run configured — and composed with
+  the cached shards. The document-frequency/vocabulary merge is plain
+  integer adds over per-shard tables (order-independent), and transform
+  shards are additionally keyed on the global vocabulary+idf fingerprint
+  so any vocabulary shift invalidates them wholesale.
+* **Safety rails** — k-means is cached whole (its blocking and merge
+  order are part of the output contract; there is no shard-composable
+  form). A run that quarantined documents no longer corresponds to the
+  fingerprinted corpus, so the session disables itself for stores. A
+  corrupt entry is deleted and treated as a miss by the store layer.
+
+Served word-count dictionaries are
+:class:`~repro.dicts.snapshot.SnapshotDict` views (as on any backend
+path); downstream output is bit-identical regardless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache import keys as cache_keys
+from repro.cache.store import CacheStore
+from repro.dicts.snapshot import SnapshotDict
+from repro.ops.kmeans import PHASE_KMEANS, KMeansResult
+from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfResult
+from repro.ops.wordcount import PHASE_INPUT_WC, WordCountResult
+from repro.sparse.matrix import CsrMatrix
+from repro.sparse.vector import SparseVector
+
+__all__ = ["PipelineCache", "RunCacheSession", "PhaseCacheStats"]
+
+
+@dataclass
+class PhaseCacheStats:
+    """Hit/miss and savings accounting for one phase of one run."""
+
+    hits: int = 0
+    misses: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+    #: Bytes of stored payload served instead of recomputed.
+    bytes_saved: int = 0
+    #: Recorded compute seconds avoided, net of the time spent serving.
+    seconds_saved: float = 0.0
+    #: Wall seconds spent on lookup + deserialization + composition.
+    serve_s: float = 0.0
+    #: Entries written by this run (full + shard).
+    stored: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "shard_hits": self.shard_hits,
+            "shard_misses": self.shard_misses,
+            "bytes_saved": self.bytes_saved,
+            "seconds_saved": self.seconds_saved,
+            "serve_s": self.serve_s,
+            "stored": self.stored,
+        }
+
+
+class PipelineCache:
+    """A result cache shared across runs (one per on-disk store)."""
+
+    def __init__(
+        self,
+        store: CacheStore | str,
+        shard_docs: int = cache_keys.DEFAULT_SHARD_DOCS,
+        max_bytes: int | None = None,
+    ) -> None:
+        if isinstance(store, str):
+            store = CacheStore(store, max_bytes=max_bytes)
+        self.store = store
+        self.shard_docs = max(1, shard_docs)
+
+    @classmethod
+    def ensure(cls, value) -> "PipelineCache | None":
+        """Coerce ``None`` / path / store / cache into a cache (or None)."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(value)
+
+    def begin_run(self, docs, tfidf, kmeans) -> "RunCacheSession | None":
+        """Fingerprint ``docs`` and open a session; ``None`` when empty.
+
+        An empty corpus neither stores nor serves — there is nothing to
+        key on and the uncached path's empty-input behavior (including
+        its errors) must be preserved exactly.
+        """
+        docs = list(docs)
+        if not docs:
+            return None
+        fingerprint = cache_keys.CorpusFingerprint.from_docs(
+            docs, shard_docs=self.shard_docs
+        )
+        return RunCacheSession(self, fingerprint, docs, tfidf, kmeans)
+
+    def flush(self) -> None:
+        self.store.flush()
+
+
+class RunCacheSession:
+    """One run's view of the cache: fixed corpus, fixed operator configs."""
+
+    def __init__(self, cache: PipelineCache, fingerprint, docs, tfidf, kmeans):
+        self.cache = cache
+        self.store = cache.store
+        self.fp = fingerprint
+        self.docs = docs
+        self._wc_cfg = cache_keys.wordcount_config(tfidf)
+        self._tr_cfg = cache_keys.tfidf_config(tfidf)
+        self._km_cfg = cache_keys.kmeans_config(kmeans)
+        self.wc_key = cache_keys.phase_key(
+            "wc", self._wc_cfg, fingerprint.corpus_digest
+        )
+        self.tr_key = cache_keys.phase_key(
+            "tr", self._tr_cfg, fingerprint.corpus_digest
+        )
+        self.km_key = cache_keys.phase_key("km", self._km_cfg, self.tr_key)
+        self.stats: dict[str, PhaseCacheStats] = {
+            PHASE_INPUT_WC: PhaseCacheStats(),
+            PHASE_TRANSFORM: PhaseCacheStats(),
+            PHASE_KMEANS: PhaseCacheStats(),
+        }
+        #: Set when a phase output stopped corresponding to the
+        #: fingerprinted corpus (quarantine dropped documents) — storing
+        #: would poison the cache for every later run.
+        self.disabled = False
+
+    # -- planner integration ---------------------------------------------------------
+
+    def cached_phases(self) -> frozenset[str]:
+        """Phases whose *full* result is present (for plan routing)."""
+        cached = set()
+        if self.wc_key in self.store:
+            cached.add(PHASE_INPUT_WC)
+        if self.tr_key in self.store:
+            cached.add(PHASE_TRANSFORM)
+        if self.km_key in self.store:
+            cached.add(PHASE_KMEANS)
+        return frozenset(cached)
+
+    # -- phase 1: word count -----------------------------------------------------------
+
+    def wordcount(self, step, compute_all, compute_subset) -> WordCountResult:
+        """Serve, incrementally compose, or fully compute phase 1.
+
+        ``compute_all()`` runs the phase exactly as the uncached pipeline
+        would; ``compute_subset(sub_docs)`` runs the same step over a
+        document subset (changed shards only) on the same backend.
+        """
+        stats = self.stats[PHASE_INPUT_WC]
+        t0 = time.perf_counter()
+        hit = self.store.get(self.wc_key)
+        if hit is not None:
+            payload, stored_s, stored_bytes = hit
+            result = self._serve_wordcount(payload, step.dict_kind, step.scale)
+            serve_s = time.perf_counter() - t0
+            stats.hits += 1
+            stats.bytes_saved += stored_bytes
+            stats.seconds_saved += max(0.0, stored_s - serve_s)
+            stats.serve_s += serve_s
+            return result
+        stats.misses += 1
+
+        shard_keys = [
+            cache_keys.shard_key("wc", self._wc_cfg, digest)
+            for digest in self.fp.shard_digests
+        ]
+        shard_payloads: list[dict | None] = []
+        hit_seconds = 0.0
+        for key in shard_keys:
+            entry = self.store.get(key)
+            if entry is None:
+                shard_payloads.append(None)
+            else:
+                payload, stored_s, stored_bytes = entry
+                shard_payloads.append(payload)
+                stats.bytes_saved += stored_bytes
+                hit_seconds += stored_s
+        n_hits = sum(1 for p in shard_payloads if p is not None)
+        stats.shard_hits += n_hits
+        stats.shard_misses += len(shard_payloads) - n_hits
+        lookup_s = time.perf_counter() - t0
+
+        if n_hits == 0:
+            # Nothing to compose with: run the uncached path verbatim.
+            t1 = time.perf_counter()
+            result = compute_all()
+            compute_s = time.perf_counter() - t1
+            self._store_wordcount(result, compute_s, shard_keys, stats)
+            return result
+
+        # Incremental path: recompute only the changed/added shards (one
+        # backend invocation over their concatenated documents), then
+        # compose per-shard entries in document order. The df merge is
+        # plain integer adds over per-shard tables — order-independent.
+        missing = [
+            at for at, payload in enumerate(shard_payloads) if payload is None
+        ]
+        sub_docs = [
+            doc
+            for at in missing
+            for doc in self.docs[self.fp.shards[at][0]:self.fp.shards[at][1]]
+        ]
+        computed: dict[int, dict] = {}
+        compute_s = 0.0
+        if missing:
+            t1 = time.perf_counter()
+            sub_wc = compute_subset(sub_docs)
+            compute_s = time.perf_counter() - t1
+            if len(sub_wc.doc_tfs) != len(sub_docs):
+                # Quarantine dropped documents mid-subset: alignment with
+                # the fingerprint is gone. Fall back to the plain path
+                # and stop storing for this run.
+                self.disabled = True
+                return compute_all()
+            per_doc_s = compute_s / max(1, len(sub_docs))
+            cursor = 0
+            for at in missing:
+                start, stop = self.fp.shards[at]
+                count = stop - start
+                entries = [
+                    list(tf.items())
+                    for tf in sub_wc.doc_tfs[cursor:cursor + count]
+                ]
+                tokens = sub_wc.doc_token_counts[cursor:cursor + count]
+                computed[at] = {
+                    "entries": entries,
+                    "tokens": list(tokens),
+                    "df": _shard_df(entries),
+                    "seconds": per_doc_s * count,
+                }
+                cursor += count
+
+        t2 = time.perf_counter()
+        doc_tfs: list = []
+        doc_tokens: list[int] = []
+        df_total: dict[str, int] = {}
+        paths: list[str] = []
+        input_bytes = 0
+        for at, item in enumerate(self.docs):
+            if isinstance(item, str):
+                paths.append(f"mem-{at}")
+                input_bytes += len(item)
+            else:
+                paths.append(item.name)
+                input_bytes += len(item.text)
+        for at in range(len(shard_payloads)):
+            payload = shard_payloads[at] or computed[at]
+            for entries in payload["entries"]:
+                doc_tfs.append(SnapshotDict(entries, kind=step.dict_kind))
+            doc_tokens.extend(payload["tokens"])
+            for term, count in payload["df"]:
+                df_total[term] = df_total.get(term, 0) + count
+        result = WordCountResult(
+            paths=paths,
+            doc_tfs=doc_tfs,
+            doc_token_counts=doc_tokens,
+            df=SnapshotDict(sorted(df_total.items()), kind=step.dict_kind),
+            dict_kind=step.dict_kind,
+            input_bytes=input_bytes,
+            total_tokens=sum(doc_tokens),
+            scale=step.scale,
+        )
+        stats.serve_s += lookup_s + (time.perf_counter() - t2)
+        stats.seconds_saved += hit_seconds
+        # Persist the newly computed shards and the composed full result,
+        # so the next identical corpus is a single full-phase hit.
+        for at, payload in computed.items():
+            self.store.put(shard_keys[at], payload, seconds=payload["seconds"])
+            stats.stored += 1
+        self.store.put(
+            self.wc_key,
+            _wordcount_payload(result),
+            seconds=hit_seconds + compute_s,
+        )
+        stats.stored += 1
+        return result
+
+    def _serve_wordcount(self, payload, dict_kind, scale) -> WordCountResult:
+        return WordCountResult(
+            paths=list(payload["paths"]),
+            doc_tfs=[
+                SnapshotDict(entries, kind=dict_kind)
+                for entries in payload["entries"]
+            ],
+            doc_token_counts=list(payload["tokens"]),
+            df=SnapshotDict(payload["df"], kind=dict_kind),
+            dict_kind=dict_kind,
+            input_bytes=payload["input_bytes"],
+            total_tokens=payload["total_tokens"],
+            scale=scale,
+        )
+
+    def _store_wordcount(self, result, compute_s, shard_keys, stats) -> None:
+        """Store a fully computed phase-1 result: full entry + every shard."""
+        if self.disabled or len(result.doc_tfs) != self.fp.n_docs:
+            self.disabled = True
+            return
+        self.store.put(
+            self.wc_key, _wordcount_payload(result), seconds=compute_s
+        )
+        stats.stored += 1
+        per_doc_s = compute_s / max(1, self.fp.n_docs)
+        for at, (start, stop) in enumerate(self.fp.shards):
+            entries = [
+                list(tf.items()) for tf in result.doc_tfs[start:stop]
+            ]
+            self.store.put(
+                shard_keys[at],
+                {
+                    "entries": entries,
+                    "tokens": list(result.doc_token_counts[start:stop]),
+                    "df": _shard_df(entries),
+                    "seconds": per_doc_s * (stop - start),
+                },
+                seconds=per_doc_s * (stop - start),
+            )
+            stats.stored += 1
+
+    # -- phase 2a: transform ------------------------------------------------------------
+
+    def transform(self, tfidf_op, wc, compute_all, compute_rows) -> TfIdfResult:
+        """Serve, incrementally compose, or fully compute the transform.
+
+        ``compute_all()`` is the uncached phase; ``compute_rows(vocabulary,
+        idf, chunks)`` transforms pre-extracted entry-list chunks (one per
+        missing shard) on the run's backend and returns one row list per
+        chunk. Shard entries are keyed on the global vocabulary+idf
+        fingerprint: a corpus change that shifts either invalidates every
+        transform shard, which is what keeps composition bit-identical.
+        """
+        stats = self.stats[PHASE_TRANSFORM]
+        t0 = time.perf_counter()
+        hit = self.store.get(self.tr_key)
+        if hit is not None:
+            payload, stored_s, stored_bytes = hit
+            result = self._serve_transform(payload, wc)
+            serve_s = time.perf_counter() - t0
+            stats.hits += 1
+            stats.bytes_saved += stored_bytes
+            stats.seconds_saved += max(0.0, stored_s - serve_s)
+            stats.serve_s += serve_s
+            return result
+        stats.misses += 1
+
+        aligned = (
+            not self.disabled
+            and wc.n_docs == self.fp.n_docs
+            and len(wc.doc_tfs) == self.fp.n_docs
+        )
+        if not aligned:
+            # Fused/quarantined word counts have no parent-side entries
+            # to shard over; run the plain path and store nothing.
+            self.disabled = self.disabled or wc.n_docs != self.fp.n_docs
+            return compute_all()
+
+        # Serial prefix, exactly as transform_wordcount's: vocabulary,
+        # idf, and the term-id index from the (possibly served) df table.
+        from repro.exec.task import TaskCost
+
+        vocabulary, idf, _index = tfidf_op.build_vocabulary(wc, TaskCost())
+        vocab_fp = cache_keys.vocab_fingerprint(vocabulary, idf)
+        shard_keys = [
+            cache_keys.shard_key("tr", self._tr_cfg, digest, extra=vocab_fp)
+            for digest in self.fp.shard_digests
+        ]
+        shard_payloads: list[dict | None] = []
+        hit_seconds = 0.0
+        for key in shard_keys:
+            entry = self.store.get(key)
+            if entry is None:
+                shard_payloads.append(None)
+            else:
+                payload, stored_s, stored_bytes = entry
+                shard_payloads.append(payload)
+                stats.bytes_saved += stored_bytes
+                hit_seconds += stored_s
+        n_hits = sum(1 for p in shard_payloads if p is not None)
+        stats.shard_hits += n_hits
+        stats.shard_misses += len(shard_payloads) - n_hits
+        lookup_s = time.perf_counter() - t0
+
+        if n_hits == 0:
+            t1 = time.perf_counter()
+            result = compute_all()
+            compute_s = time.perf_counter() - t1
+            self._store_transform(result, compute_s, shard_keys, stats)
+            return result
+
+        missing = [
+            at for at, payload in enumerate(shard_payloads) if payload is None
+        ]
+        compute_s = 0.0
+        computed: dict[int, dict] = {}
+        if missing:
+            chunks = [
+                [
+                    list(tf.items())
+                    for tf in wc.doc_tfs[
+                        self.fp.shards[at][0]:self.fp.shards[at][1]
+                    ]
+                ]
+                for at in missing
+            ]
+            t1 = time.perf_counter()
+            chunk_rows = compute_rows(vocabulary, idf, chunks)
+            compute_s = time.perf_counter() - t1
+            if sum(len(rows) for rows in chunk_rows) != sum(
+                len(chunk) for chunk in chunks
+            ):
+                self.disabled = True
+                return compute_all()
+            n_sub = sum(len(chunk) for chunk in chunks)
+            per_doc_s = compute_s / max(1, n_sub)
+            for at, rows in zip(missing, chunk_rows):
+                computed[at] = {
+                    "rows": [
+                        (list(row.indices), list(row.values)) for row in rows
+                    ],
+                    "seconds": per_doc_s * len(rows),
+                }
+
+        t2 = time.perf_counter()
+        rows: list[SparseVector] = []
+        for at in range(len(shard_payloads)):
+            payload = shard_payloads[at] or computed[at]
+            for indices, values in payload["rows"]:
+                rows.append(SparseVector(indices, values))
+        result = TfIdfResult(
+            matrix=CsrMatrix.from_rows(rows, n_cols=len(vocabulary)),
+            vocabulary=vocabulary,
+            idf=idf,
+            wordcount=wc,
+        )
+        stats.serve_s += lookup_s + (time.perf_counter() - t2)
+        stats.seconds_saved += hit_seconds
+        for at, payload in computed.items():
+            self.store.put(shard_keys[at], payload, seconds=payload["seconds"])
+            stats.stored += 1
+        self.store.put(
+            self.tr_key,
+            _transform_payload(result),
+            seconds=hit_seconds + compute_s,
+        )
+        stats.stored += 1
+        return result
+
+    def _serve_transform(self, payload, wc) -> TfIdfResult:
+        matrix = CsrMatrix(
+            list(payload["indptr"]),
+            list(payload["indices"]),
+            list(payload["data"]),
+            payload["n_cols"],
+        )
+        return TfIdfResult(
+            matrix=matrix,
+            vocabulary=list(payload["vocabulary"]),
+            idf=list(payload["idf"]),
+            wordcount=wc,
+        )
+
+    def _store_transform(self, result, compute_s, shard_keys, stats) -> None:
+        if self.disabled or result.matrix.n_rows != self.fp.n_docs:
+            self.disabled = True
+            return
+        self.store.put(
+            self.tr_key, _transform_payload(result), seconds=compute_s
+        )
+        stats.stored += 1
+        per_doc_s = compute_s / max(1, self.fp.n_docs)
+        rows = list(result.matrix.iter_rows())
+        for at, (start, stop) in enumerate(self.fp.shards):
+            self.store.put(
+                shard_keys[at],
+                {
+                    "rows": [
+                        (list(row.indices), list(row.values))
+                        for row in rows[start:stop]
+                    ],
+                    "seconds": per_doc_s * (stop - start),
+                },
+                seconds=per_doc_s * (stop - start),
+            )
+            stats.stored += 1
+
+    # -- phase 3: k-means ---------------------------------------------------------------
+
+    def kmeans_fit(self, compute) -> KMeansResult:
+        """Serve or compute the clustering (full phase only — blocking and
+        merge order are part of the output contract, nothing to shard)."""
+        stats = self.stats[PHASE_KMEANS]
+        t0 = time.perf_counter()
+        hit = self.store.get(self.km_key)
+        if hit is not None:
+            payload, stored_s, stored_bytes = hit
+            centroids = np.frombuffer(
+                payload["centroids"], dtype=np.dtype(payload["dtype"])
+            ).reshape(payload["shape"]).copy()
+            result = KMeansResult(
+                assignments=list(payload["assignments"]),
+                centroids=centroids,
+                n_iters=payload["n_iters"],
+                inertia=payload["inertia"],
+                converged=payload["converged"],
+                inertia_history=list(payload["inertia_history"]),
+            )
+            serve_s = time.perf_counter() - t0
+            stats.hits += 1
+            stats.bytes_saved += stored_bytes
+            stats.seconds_saved += max(0.0, stored_s - serve_s)
+            stats.serve_s += serve_s
+            return result
+        stats.misses += 1
+        t1 = time.perf_counter()
+        result = compute()
+        compute_s = time.perf_counter() - t1
+        if not self.disabled and len(result.assignments) == self.fp.n_docs:
+            centroids = np.ascontiguousarray(result.centroids)
+            self.store.put(
+                self.km_key,
+                {
+                    "assignments": list(result.assignments),
+                    "centroids": centroids.tobytes(),
+                    "dtype": centroids.dtype.str,
+                    "shape": tuple(centroids.shape),
+                    "n_iters": result.n_iters,
+                    "inertia": result.inertia,
+                    "converged": result.converged,
+                    "inertia_history": list(result.inertia_history),
+                },
+                seconds=compute_s,
+            )
+            stats.stored += 1
+        return result
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able accounting view (embedded in results and benchmarks)."""
+        phases = {
+            phase: stats.as_dict()
+            for phase, stats in self.stats.items()
+        }
+        totals = PhaseCacheStats()
+        for stats in self.stats.values():
+            totals.hits += stats.hits
+            totals.misses += stats.misses
+            totals.shard_hits += stats.shard_hits
+            totals.shard_misses += stats.shard_misses
+            totals.bytes_saved += stats.bytes_saved
+            totals.seconds_saved += stats.seconds_saved
+            totals.serve_s += stats.serve_s
+            totals.stored += stats.stored
+        snapshot = totals.as_dict()
+        snapshot["phases"] = phases
+        snapshot["dir"] = self.store.root
+        snapshot["disabled"] = self.disabled
+        return snapshot
+
+    def finish(self) -> None:
+        """Persist the store index (atomic) at the end of the run."""
+        self.store.flush()
+
+
+def _shard_df(entries_per_doc) -> list[tuple[str, int]]:
+    """Per-shard document-frequency table from per-document entries."""
+    df: dict[str, int] = {}
+    for entries in entries_per_doc:
+        for term, _count in entries:
+            df[term] = df.get(term, 0) + 1
+    return sorted(df.items())
+
+
+def _wordcount_payload(result: WordCountResult) -> dict:
+    return {
+        "paths": list(result.paths),
+        "entries": [list(tf.items()) for tf in result.doc_tfs],
+        "tokens": list(result.doc_token_counts),
+        "df": list(result.df.items_sorted()),
+        "input_bytes": result.input_bytes,
+        "total_tokens": result.total_tokens,
+    }
+
+
+def _transform_payload(result: TfIdfResult) -> dict:
+    matrix = result.matrix
+    return {
+        "indptr": list(matrix.indptr),
+        "indices": list(matrix.indices),
+        "data": list(matrix.data),
+        "n_cols": matrix.n_cols,
+        "vocabulary": list(result.vocabulary),
+        "idf": list(result.idf),
+    }

@@ -1,0 +1,184 @@
+"""On-disk result store: pickle payloads, an atomic JSON index, LRU eviction.
+
+Layout under the store root::
+
+    index.json          # key -> {bytes, seconds, used} + an access clock
+    objects/<key>.pkl   # one pickle per entry
+
+The index is the only metadata file and is rewritten atomically
+(:func:`repro.io.atomic.atomic_write_json`) — killing a process mid-save
+leaves either the old index or the new one, never a truncated file.
+Payload files get the same temp-file + ``os.replace`` treatment, so a
+partially written object can never be observed under its final name.
+
+Corruption is *demoted*, never raised: an unreadable index is rebuilt
+from the object files on disk, an unpicklable entry is deleted and
+reported as a miss. The cache is an accelerator; the worst a damaged
+store may cost is a recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+
+from repro.errors import CacheError
+from repro.io.atomic import atomic_write_json
+
+__all__ = ["CacheStore"]
+
+_INDEX_NAME = "index.json"
+_OBJECTS_DIR = "objects"
+
+
+class CacheStore:
+    """Keyed pickle store with bounded size and LRU eviction."""
+
+    def __init__(self, root: str, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise CacheError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = root
+        self.max_bytes = max_bytes
+        self._objects = os.path.join(root, _OBJECTS_DIR)
+        os.makedirs(self._objects, exist_ok=True)
+        self._clock = 0
+        #: key -> {"bytes": int, "seconds": float, "used": int}
+        self._index: dict[str, dict] = {}
+        self._load_index()
+
+    # -- index persistence ---------------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, _INDEX_NAME)
+
+    def _load_index(self) -> None:
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            entries = payload["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("entries must be an object")
+            self._index = {
+                key: {
+                    "bytes": int(meta["bytes"]),
+                    "seconds": float(meta.get("seconds", 0.0)),
+                    "used": int(meta.get("used", 0)),
+                }
+                for key, meta in entries.items()
+            }
+            self._clock = int(payload.get("clock", 0))
+        except FileNotFoundError:
+            self._index = {}
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt index: rebuild what we can from the objects on disk.
+            # Entries recovered this way lose their recorded compute time
+            # (seconds-saved accounting restarts at zero for them).
+            self._index = {}
+            self._clock = 0
+            for name in sorted(os.listdir(self._objects)):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(self._objects, name)
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    continue
+                self._index[name[: -len(".pkl")]] = {
+                    "bytes": size, "seconds": 0.0, "used": 0,
+                }
+        # Entries whose payload file vanished are unusable.
+        self._index = {
+            key: meta
+            for key, meta in self._index.items()
+            if os.path.exists(self._object_path(key))
+        }
+
+    def flush(self) -> None:
+        """Persist the index (atomic replace; crash-safe)."""
+        atomic_write_json(
+            self._index_path(),
+            {"version": 1, "clock": self._clock, "entries": self._index},
+        )
+
+    # -- entries --------------------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        if os.sep in key or key.startswith("."):
+            raise CacheError(f"invalid cache key {key!r}")
+        return os.path.join(self._objects, key + ".pkl")
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(meta["bytes"] for meta in self._index.values())
+
+    def get(self, key: str):
+        """``(payload, stored_seconds, stored_bytes)`` or ``None`` on miss.
+
+        A present-but-unreadable entry (truncated file, unpicklable
+        bytes) is deleted and reported as a miss.
+        """
+        meta = self._index.get(key)
+        if meta is None:
+            return None
+        try:
+            with open(self._object_path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError, IndexError):
+            self.delete(key)
+            return None
+        self._clock += 1
+        meta["used"] = self._clock
+        return payload, meta["seconds"], meta["bytes"]
+
+    def put(self, key: str, payload, seconds: float = 0.0) -> int:
+        """Store ``payload`` under ``key``; returns the stored byte count."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._object_path(key)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=key + ".", suffix=".tmp", dir=self._objects
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._clock += 1
+        self._index[key] = {
+            "bytes": len(blob), "seconds": seconds, "used": self._clock,
+        }
+        self._evict()
+        return len(blob)
+
+    def delete(self, key: str) -> None:
+        self._index.pop(key, None)
+        try:
+            os.unlink(self._object_path(key))
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        The newest entry always survives, even when it alone exceeds the
+        budget — evicting what was just stored would make the store
+        useless below a pathological budget.
+        """
+        if self.max_bytes is None:
+            return
+        while self.total_bytes > self.max_bytes and len(self._index) > 1:
+            victim = min(self._index, key=lambda k: self._index[k]["used"])
+            self.delete(victim)

@@ -240,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --plan auto, print the rejected candidate "
         "configurations and the cost terms that sank them",
     )
+    pipe.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="phase-level result cache directory: serve unchanged phases "
+        "from disk (bit-identical) and recompute only changed document "
+        "shards (see docs/caching.md)",
+    )
+    pipe.add_argument(
+        "--cache-max-mb", type=float, default=None, metavar="MB",
+        help="evict least-recently-used cache entries beyond this size",
+    )
     _add_backend_args(pipe)
     _add_read_args(pipe)
 
@@ -349,7 +359,58 @@ def _cmd_workflow(args) -> int:
     return 0
 
 
+def _validate_pipeline_flags(args) -> None:
+    """Fail fast on flag combinations that would only error mid-run.
+
+    ``--plan auto`` may pick the fused wc→transform path, whose
+    worker-resident intermediates cannot be replayed by a retry,
+    quarantined around, or rebuilt by a backend downgrade — so every
+    resilience knob conflicts with it. Catching this at argument
+    validation names the offending flags instead of failing deep inside
+    the run once the planner has committed to fusion.
+    """
+    if args.plan != "auto":
+        return
+    conflicting = []
+    if getattr(args, "retries", 0):
+        conflicting.append("--retries")
+    if getattr(args, "task_timeout", None) is not None:
+        conflicting.append("--task-timeout")
+    if getattr(args, "phase_timeout", None) is not None:
+        conflicting.append("--phase-timeout")
+    if getattr(args, "on_poison", "raise") != "raise":
+        conflicting.append("--on-poison")
+    if getattr(args, "degrade", False):
+        conflicting.append("--degrade")
+    if conflicting:
+        raise ConfigurationError(
+            f"--plan auto cannot be combined with "
+            f"{', '.join(conflicting)}: the planner may pick the fused "
+            f"wc->transform path, whose worker-resident state cannot be "
+            f"replayed, quarantined, or degraded; use --plan fixed for "
+            f"resilient runs"
+        )
+
+
+def _cli_cache(args):
+    """Result cache from the flags; ``None`` when caching is off."""
+    from repro.cache import PipelineCache
+
+    if getattr(args, "cache", None) is None:
+        if getattr(args, "cache_max_mb", None) is not None:
+            raise ConfigurationError("--cache-max-mb requires --cache DIR")
+        return None
+    max_bytes = (
+        int(args.cache_max_mb * 1e6)
+        if getattr(args, "cache_max_mb", None) is not None
+        else None
+    )
+    return PipelineCache(args.cache, max_bytes=max_bytes)
+
+
 def _cmd_pipeline(args) -> int:
+    _validate_pipeline_flags(args)
+    cache = _cli_cache(args)
     stream = _make_cli_stream(args)
     if not len(stream):
         print(f"error: no documents found in {args.input}", file=sys.stderr)
@@ -371,11 +432,6 @@ def _cmd_pipeline(args) -> int:
         init=args.init,
     )
     if auto_plan:
-        if _cli_resilience(args) is not None:
-            raise ConfigurationError(
-                "retry/timeout/quarantine policies require --plan fixed "
-                "(the fused path cannot replay worker-resident state)"
-            )
         result = run_pipeline(
             stream,
             plan="auto",
@@ -383,7 +439,7 @@ def _cmd_pipeline(args) -> int:
             tfidf=tfidf,
             kmeans=kmeans,
             trace=args.trace is not None,
-            degrade=args.degrade,
+            cache=cache,
         )
     else:
         with _make_cli_backend(args) as backend:
@@ -394,6 +450,7 @@ def _cmd_pipeline(args) -> int:
                 kmeans=kmeans,
                 trace=args.trace is not None,
                 degrade=args.degrade,
+                cache=cache,
             )
 
     if args.arff is not None:
@@ -447,6 +504,21 @@ def _cmd_pipeline(args) -> int:
         print(
             f"quarantined: {len(result.quarantine)} poisoned slice(s)"
             + (f"; dropped document id(s): {docs}" if docs else "")
+        )
+    if result.cache is not None:
+        c = result.cache
+        shards_seen = c["shard_hits"] + c["shard_misses"]
+        shard_note = (
+            f", {c['shard_hits']}/{shards_seen} shard(s) reused"
+            if shards_seen
+            else ""
+        )
+        print(
+            f"cache: {c['hits']} hit(s), {c['misses']} miss(es)"
+            f"{shard_note}; served {c['bytes_saved'] / 1e6:.2f} MB, "
+            f"saved {c['seconds_saved']:.3f}s, "
+            f"stored {c['stored']} entr{'y' if c['stored'] == 1 else 'ies'}"
+            + (" [disabled after quarantine]" if c["disabled"] else "")
         )
     if result.trace is not None:
         result.trace.write_chrome_trace(args.trace)

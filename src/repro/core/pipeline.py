@@ -22,12 +22,15 @@ import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.cache import PipelineCache
+from repro.cache.pipeline_cache import RunCacheSession
 from repro.errors import ConfigurationError
 from repro.exec.inline import ExecutionBackend, SequentialBackend, ThreadBackend
 from repro.exec.process import ProcessBackend, make_backend
 from repro.exec.resilience import DowngradeEvent, QuarantineReport
 from repro.exec.spans import RunTrace, SpanRecorder
 from repro.io.parallel_read import DocumentStream
+from repro.ops import kernels
 from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator, TfIdfResult
 from repro.ops.wordcount import PHASE_INPUT_WC
@@ -102,6 +105,11 @@ class RealRunResult:
     #: ``phase_seconds`` — planning is amortized across runs via the
     #: persisted calibration store, so it is billed separately.
     plan_seconds: float = 0.0
+    #: Result-cache accounting for the run (hits, misses, shard reuse,
+    #: bytes/seconds saved — see
+    #: :meth:`repro.cache.pipeline_cache.RunCacheSession.snapshot`);
+    #: ``None`` when the run had no cache.
+    cache: dict | None = None
 
     @property
     def total_s(self) -> float:
@@ -118,6 +126,7 @@ def run_pipeline(
     degrade: bool = False,
     plan: RealPlan | str | None = None,
     calibration: CalibrationStore | str | None = None,
+    cache: PipelineCache | str | None = None,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -157,6 +166,15 @@ def run_pipeline(
     backends; one IPC/span/quarantine bill spans them all, and the
     executed plan is recorded on the result. Planned outputs are
     bit-identical to every fixed-configuration run.
+
+    ``cache`` (a :class:`~repro.cache.PipelineCache` or a store
+    directory) memoizes each phase's result on disk, keyed on corpus
+    content × operator config × code version: a warm run serves all
+    three phases with zero operator recompute and bit-identical output,
+    and a changed corpus recomputes only changed document shards (see
+    ``docs/caching.md``). Caching materializes streamed input up front
+    (content must be hashed before it can be served) and the run's
+    hit/miss/savings accounting lands on ``result.cache``.
     """
     if plan is not None:
         if backend is not None:
@@ -166,6 +184,7 @@ def run_pipeline(
         return _run_planned(
             corpus, plan, tfidf=tfidf, kmeans=kmeans,
             trace=trace, degrade=degrade, calibration=calibration,
+            cache=cache,
         )
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
@@ -182,6 +201,21 @@ def run_pipeline(
             backend.spans.begin_run()
             if streamed:
                 corpus.spans = backend.spans
+
+    source = corpus
+    session: RunCacheSession | None = None
+    pipeline_cache = PipelineCache.ensure(cache)
+    if pipeline_cache is not None:
+        if streamed:
+            # Content must be hashed before it can be served: drain the
+            # stream (reads still overlap via its prefetch pool, and
+            # traced reader spans were armed above) and bill the blocked
+            # time as the read phase, exactly as the planned path does.
+            source = list(corpus)
+            seconds[PHASE_READ] = corpus.wait_seconds
+            corpus.close()
+            streamed = False
+        session = pipeline_cache.begin_run(source, tfidf, kmeans)
 
     def run_phase(phase: str, thunk, *, replayable: bool = True):
         """One phase attempt, degrading through the tiers if allowed."""
@@ -209,11 +243,24 @@ def run_pipeline(
 
     try:
         t0 = time.perf_counter()
-        wc = run_phase(
-            PHASE_INPUT_WC,
-            lambda be: tfidf.wordcount.run(corpus, backend=be),
-            replayable=not streamed,
-        )
+        if session is not None:
+            wc = session.wordcount(
+                tfidf.wordcount,
+                compute_all=lambda: run_phase(
+                    PHASE_INPUT_WC,
+                    lambda be: tfidf.wordcount.run(source, backend=be),
+                ),
+                compute_subset=lambda sub: run_phase(
+                    PHASE_INPUT_WC,
+                    lambda be: tfidf.wordcount.run(sub, backend=be),
+                ),
+            )
+        else:
+            wc = run_phase(
+                PHASE_INPUT_WC,
+                lambda be: tfidf.wordcount.run(source, backend=be),
+                replayable=not streamed,
+            )
         t1 = time.perf_counter()
         if streamed:
             read_s = corpus.wait_seconds
@@ -222,16 +269,40 @@ def run_pipeline(
         else:
             seconds[PHASE_INPUT_WC] = t1 - t0
 
-        scores = run_phase(
-            PHASE_TRANSFORM,
-            lambda be: tfidf.transform_wordcount(wc, backend=be),
-        )
+        if session is not None:
+            scores = session.transform(
+                tfidf,
+                wc,
+                compute_all=lambda: run_phase(
+                    PHASE_TRANSFORM,
+                    lambda be: tfidf.transform_wordcount(wc, backend=be),
+                ),
+                compute_rows=lambda vocabulary, idf, chunks: run_phase(
+                    PHASE_TRANSFORM,
+                    lambda be: _transform_chunks(
+                        be, tfidf, vocabulary, idf, chunks
+                    ),
+                ),
+            )
+        else:
+            scores = run_phase(
+                PHASE_TRANSFORM,
+                lambda be: tfidf.transform_wordcount(wc, backend=be),
+            )
         t2 = time.perf_counter()
         seconds[PHASE_TRANSFORM] = t2 - t1
 
-        clusters = run_phase(
-            PHASE_KMEANS, lambda be: kmeans.fit(scores.matrix, backend=be)
-        )
+        if session is not None:
+            clusters = session.kmeans_fit(
+                lambda: run_phase(
+                    PHASE_KMEANS,
+                    lambda be: kmeans.fit(scores.matrix, backend=be),
+                )
+            )
+        else:
+            clusters = run_phase(
+                PHASE_KMEANS, lambda be: kmeans.fit(scores.matrix, backend=be)
+            )
         t3 = time.perf_counter()
         seconds[PHASE_KMEANS] = t3 - t2
     finally:
@@ -243,6 +314,8 @@ def run_pipeline(
             backend.spans.end_run()
         for lower in created:
             lower.close()
+        if session is not None:
+            session.finish()
 
     run_trace: RunTrace | None = None
     if trace:
@@ -266,7 +339,21 @@ def run_pipeline(
         trace=run_trace,
         quarantine=quarantine,
         downgrades=downgrades,
+        cache=session.snapshot() if session is not None else None,
     )
+
+
+def _transform_chunks(backend, tfidf, vocabulary, idf, chunks):
+    """Transform pre-extracted entry-list chunks (the cache's changed
+    shards) on ``backend``, bit-identically to the full transform."""
+    if backend is None:
+        kernels.init_transform_worker(vocabulary, idf, tfidf.min_df)
+        return [kernels.transform_chunk(chunk) for chunk in chunks]
+    backend.begin_phase(PHASE_TRANSFORM)
+    backend.configure(
+        kernels.init_transform_worker, (vocabulary, idf, tfidf.min_df)
+    )
+    return backend.map(kernels.transform_chunk, chunks, grain=1)
 
 
 def _run_planned(
@@ -278,6 +365,7 @@ def _run_planned(
     trace: bool,
     degrade: bool,
     calibration: CalibrationStore | str | None,
+    cache: PipelineCache | str | None = None,
 ) -> RealRunResult:
     """Execute a :class:`RealPlan`, phase by phase, on its chosen backends."""
     kmeans = kmeans or KMeansOperator()
@@ -301,13 +389,33 @@ def _run_planned(
     else:
         docs = corpus
 
+    session: RunCacheSession | None = None
+    pipeline_cache = PipelineCache.ensure(cache)
+    if pipeline_cache is not None:
+        session = pipeline_cache.begin_run(
+            docs, tfidf or TfIdfOperator(), kmeans
+        )
+
+    observe_store: CalibrationStore | None = None
     if plan == "auto":
         if isinstance(calibration, CalibrationStore):
             store = calibration
         else:
             store = CalibrationStore.load_or_probe(calibration, docs)
+        observe_store = store
         plan = AdaptivePlanner(store).plan(
-            n_docs=len(docs), kmeans_iters=kmeans.max_iters
+            n_docs=len(docs),
+            kmeans_iters=kmeans.max_iters,
+            # Phases already cached are pinned to near-zero "cached"
+            # plans so the planner routes around skippable work; fusion
+            # is suppressed for cache-enabled runs because fused
+            # intermediates never materialize parent-side (nothing could
+            # be stored, and the cache wins on repeat traffic anyway).
+            cached_phases=(
+                session.cached_phases() if session is not None
+                else frozenset()
+            ),
+            allow_fusion=session is None,
         )
     elif not isinstance(plan, RealPlan):
         raise ConfigurationError(
@@ -393,6 +501,10 @@ def _run_planned(
     try:
         t0 = time.perf_counter()
         if plan.fused:
+            # Fused intermediates stay worker-resident — there is nothing
+            # parent-side to serve or store for wc/transform, so a cache
+            # session (possible only with a verbatim fused RealPlan) only
+            # fronts the k-means phase here.
             fused = run_phase(
                 PHASE_INPUT_WC,
                 backend_for(wc_plan),
@@ -411,30 +523,64 @@ def _run_planned(
                 replayable=False,
             )
         else:
-            wc = run_phase(
-                PHASE_INPUT_WC,
-                backend_for(wc_plan),
-                lambda be: tfidf.wordcount.run(
-                    docs, backend=be, grain=wc_plan.grain
-                ),
-            )
+            def compute_wc(texts):
+                return run_phase(
+                    PHASE_INPUT_WC,
+                    backend_for(wc_plan),
+                    lambda be: tfidf.wordcount.run(
+                        texts, backend=be, grain=wc_plan.grain
+                    ),
+                )
+
+            if session is not None:
+                wc = session.wordcount(
+                    tfidf.wordcount,
+                    compute_all=lambda: compute_wc(docs),
+                    compute_subset=compute_wc,
+                )
+            else:
+                wc = compute_wc(docs)
             t1 = time.perf_counter()
             seconds[PHASE_INPUT_WC] = t1 - t0
-            scores = run_phase(
-                PHASE_TRANSFORM,
-                backend_for(tr_plan),
-                lambda be: tfidf.transform_wordcount(
-                    wc, backend=be, grain=tr_plan.grain
-                ),
-            )
+
+            def compute_tr():
+                return run_phase(
+                    PHASE_TRANSFORM,
+                    backend_for(tr_plan),
+                    lambda be: tfidf.transform_wordcount(
+                        wc, backend=be, grain=tr_plan.grain
+                    ),
+                )
+
+            if session is not None:
+                scores = session.transform(
+                    tfidf,
+                    wc,
+                    compute_all=compute_tr,
+                    compute_rows=lambda vocabulary, idf, chunks: run_phase(
+                        PHASE_TRANSFORM,
+                        backend_for(tr_plan),
+                        lambda be: _transform_chunks(
+                            be, tfidf, vocabulary, idf, chunks
+                        ),
+                    ),
+                )
+            else:
+                scores = compute_tr()
         t2 = time.perf_counter()
         seconds[PHASE_TRANSFORM] = t2 - t1
 
-        clusters = run_phase(
-            PHASE_KMEANS,
-            backend_for(km_plan),
-            lambda be: kmeans.fit(scores.matrix, backend=be),
-        )
+        def compute_km():
+            return run_phase(
+                PHASE_KMEANS,
+                backend_for(km_plan),
+                lambda be: kmeans.fit(scores.matrix, backend=be),
+            )
+
+        if session is not None:
+            clusters = session.kmeans_fit(compute_km)
+        else:
+            clusters = compute_km()
         t3 = time.perf_counter()
         seconds[PHASE_KMEANS] = t3 - t2
     finally:
@@ -442,6 +588,8 @@ def _run_planned(
             primary.spans.end_run()
         for be in created:
             be.close()
+        if session is not None:
+            session.finish()
 
     run_trace: RunTrace | None = None
     if trace:
@@ -452,7 +600,7 @@ def _run_planned(
             workers=max(be.workers for be in created),
         )
 
-    return RealRunResult(
+    result = RealRunResult(
         tfidf=scores,
         kmeans=clusters,
         phase_seconds=seconds,
@@ -463,4 +611,13 @@ def _run_planned(
         downgrades=downgrades,
         plan=plan,
         plan_seconds=plan_seconds,
+        cache=session.snapshot() if session is not None else None,
     )
+    if observe_store is not None:
+        # Keep learning from whatever executed: cached phases ran no
+        # tasks (no spans, no IPC bytes), so their constants are left
+        # untouched; executed phases sharpen the model for the next plan.
+        observe_store.observe_run(result, n_docs=len(docs))
+        if isinstance(calibration, str):
+            observe_store.save(calibration)
+    return result

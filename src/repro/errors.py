@@ -16,6 +16,7 @@ __all__ = [
     "WorkflowError",
     "PlannerError",
     "OperatorError",
+    "CacheError",
     "BenchmarkError",
     "TaskTimeoutError",
     "PhaseTimeoutError",
@@ -52,6 +53,11 @@ class PlannerError(ReproError):
 
 class OperatorError(ReproError):
     """An analytics operator was misused or received invalid input."""
+
+
+class CacheError(ReproError):
+    """The result cache was misused (corrupt *entries* are never raised —
+    they are deleted and treated as misses; this covers caller errors)."""
 
 
 class BenchmarkError(ReproError):

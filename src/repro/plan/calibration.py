@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.dicts.factory import PLANNER_KINDS, make_dict
 from repro.errors import ConfigurationError
+from repro.io.atomic import atomic_write_json
 
 __all__ = ["PhaseConstants", "CalibrationStore", "DEFAULT_PROBE_FRACTION"]
 
@@ -91,6 +92,12 @@ class CalibrationStore:
     #: Measured nanoseconds per increment per dictionary kind — the term
     #: that differentiates dict candidates in the real cost model.
     dict_ns_per_op: dict[str, float] = field(default_factory=dict)
+    #: Per-document cost of serving a phase from the result cache
+    #: (deserialize + compose) — the near-zero term that lets the planner
+    #: route around cached work. Deliberately conservative; cache serves
+    #: execute no tasks, so observe_run never pollutes compute constants
+    #: with it.
+    cache_serve_ns_per_doc: float = 2000.0
     #: "probe", "observed", "fixture" — where the constants came from.
     source: str = "default"
     #: Documents that contributed to the constants so far.
@@ -120,18 +127,30 @@ class CalibrationStore:
         return cls(phases=phases, **kwargs)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        # Atomic replace: a crash mid-save must leave the previous store
+        # intact, never a truncated JSON prefix.
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "CalibrationStore":
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError) as exc:
+                raw = handle.read()
+        except OSError as exc:
             raise ConfigurationError(
                 f"cannot load calibration store {path!r}: {exc}"
+            ) from exc
+        if not raw.strip():
+            raise ConfigurationError(
+                f"calibration store {path!r} is empty — the file was "
+                f"truncated (interrupted write?); delete it to re-probe"
+            )
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"calibration store {path!r} is not valid JSON "
+                f"(truncated or corrupt — delete it to re-probe): {exc}"
             ) from exc
         return cls.from_dict(payload)
 

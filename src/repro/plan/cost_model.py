@@ -50,8 +50,14 @@ class PhasePlan:
     #: True on a transform plan fused into the preceding word count:
     #: same backend instance, worker-resident intermediates, no respawn.
     fused_with_previous: bool = False
+    #: True when the phase's full result sits in the run's result cache:
+    #: the phase serves from disk instead of computing, and the cost
+    #: model prices it at deserialization speed.
+    cached: bool = False
 
     def describe(self) -> str:
+        if self.cached:
+            return "cached"
         backend = self.backend
         if self.backend != "sequential":
             backend = f"{self.backend}-{self.workers}"
@@ -116,6 +122,18 @@ class RealCostModel:
     ) -> PhaseEstimate:
         """Predicted wall seconds for running ``workload`` under ``plan``."""
         c = self.calibration
+        if plan.cached:
+            # A cached phase deserializes its stored result instead of
+            # computing: near-zero, linear in the corpus (iteration count
+            # is irrelevant — the stored clustering is served whole).
+            serve_s = (
+                max(0, workload.n_docs) * c.cache_serve_ns_per_doc * 1e-9
+            )
+            return PhaseEstimate(
+                plan=plan,
+                predicted_s=serve_s,
+                breakdown={"cache_serve": serve_s},
+            )
         try:
             constants = c.phases[workload.phase]
         except KeyError:

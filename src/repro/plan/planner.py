@@ -214,63 +214,133 @@ class AdaptivePlanner:
         n_docs: int,
         input_bytes: int = 0,
         kmeans_iters: int = 10,
+        cached_phases: frozenset[str] = frozenset(),
+        allow_fusion: bool = True,
     ) -> RealPlan:
-        """Pick the per-phase argmin for a corpus of ``n_docs``."""
+        """Pick the per-phase argmin for a corpus of ``n_docs``.
+
+        ``cached_phases`` names phases whose full result already sits in
+        the run's result cache: those are pinned to a ``cached``
+        :class:`PhasePlan` (priced at deserialization speed) instead of
+        being enumerated — the planner routes around work it can skip.
+        ``allow_fusion=False`` drops the fused wc→transform candidates;
+        a cache-enabled run sets it because fused intermediates never
+        materialize parent-side, which would leave nothing to store.
+        """
         if n_docs <= 0:
             raise PlannerError("cannot plan for an empty corpus")
         wl_wc = PhaseWorkload("input+wc", n_docs, input_bytes=input_bytes)
         wl_tr = PhaseWorkload("transform", n_docs)
         wl_km = PhaseWorkload("kmeans", n_docs, iterations=kmeans_iters)
+        wc_cached = "input+wc" in cached_phases
+        tr_cached = "transform" in cached_phases
 
         configs = self._configs()
         pairs: list[PairEstimate] = []
-        for wc_kind, tr_kind in dict_candidate_pairs(
-            self.dict_kinds, mixed=self.mixed_dicts
-        ):
-            for backend1, workers1, shm1 in configs:
-                for grain1 in self.grain_options:
-                    wc_plan = PhasePlan(
-                        "input+wc", backend1, workers1, shm1,
-                        grain=grain1, dict_kind=wc_kind,
-                    )
-                    wc_est = self.model.predict(wl_wc, wc_plan)
-                    # Unfused: transform free to pick any configuration
-                    # (run_pipeline rebinds backends between phases).
-                    for backend2, workers2, shm2 in configs:
-                        for grain2 in self.grain_options:
-                            tr_plan = PhasePlan(
-                                "transform", backend2, workers2, shm2,
-                                grain=grain2, dict_kind=tr_kind,
+        cached_wc_est = self.model.predict(
+            wl_wc, PhasePlan("input+wc", "sequential", 1, cached=True)
+        )
+        cached_tr_est = self.model.predict(
+            wl_tr, PhasePlan("transform", "sequential", 1, cached=True)
+        )
+        if wc_cached and tr_cached:
+            pairs.append(
+                PairEstimate(wc=cached_wc_est, transform=cached_tr_est,
+                             fused=False)
+            )
+        elif wc_cached:
+            # Served word counts have no live pool to fuse into: the
+            # transform is enumerated unfused.
+            for tr_kind in self.dict_kinds:
+                for backend2, workers2, shm2 in configs:
+                    for grain2 in self.grain_options:
+                        tr_plan = PhasePlan(
+                            "transform", backend2, workers2, shm2,
+                            grain=grain2, dict_kind=tr_kind,
+                        )
+                        pairs.append(
+                            PairEstimate(
+                                wc=cached_wc_est,
+                                transform=self.model.predict(wl_tr, tr_plan),
+                                fused=False,
+                            )
+                        )
+        elif tr_cached:
+            for wc_kind in self.dict_kinds:
+                for backend1, workers1, shm1 in configs:
+                    for grain1 in self.grain_options:
+                        wc_plan = PhasePlan(
+                            "input+wc", backend1, workers1, shm1,
+                            grain=grain1, dict_kind=wc_kind,
+                        )
+                        pairs.append(
+                            PairEstimate(
+                                wc=self.model.predict(wl_wc, wc_plan),
+                                transform=cached_tr_est,
+                                fused=False,
+                            )
+                        )
+        else:
+            for wc_kind, tr_kind in dict_candidate_pairs(
+                self.dict_kinds, mixed=self.mixed_dicts
+            ):
+                for backend1, workers1, shm1 in configs:
+                    for grain1 in self.grain_options:
+                        wc_plan = PhasePlan(
+                            "input+wc", backend1, workers1, shm1,
+                            grain=grain1, dict_kind=wc_kind,
+                        )
+                        wc_est = self.model.predict(wl_wc, wc_plan)
+                        # Unfused: transform free to pick any configuration
+                        # (run_pipeline rebinds backends between phases).
+                        for backend2, workers2, shm2 in configs:
+                            for grain2 in self.grain_options:
+                                tr_plan = PhasePlan(
+                                    "transform", backend2, workers2, shm2,
+                                    grain=grain2, dict_kind=tr_kind,
+                                )
+                                pairs.append(
+                                    PairEstimate(
+                                        wc=wc_est,
+                                        transform=self.model.predict(
+                                            wl_tr, tr_plan
+                                        ),
+                                        fused=False,
+                                    )
+                                )
+                        # Fused: transform bound to the word count's config.
+                        if allow_fusion and self._supports_fusion(
+                            backend1, shm1
+                        ):
+                            fused_plan = PhasePlan(
+                                "transform", backend1, workers1, shm1,
+                                grain=grain1, dict_kind=tr_kind,
+                                fused_with_previous=True,
                             )
                             pairs.append(
                                 PairEstimate(
                                     wc=wc_est,
-                                    transform=self.model.predict(wl_tr, tr_plan),
-                                    fused=False,
+                                    transform=self.model.predict(
+                                        wl_tr, fused_plan
+                                    ),
+                                    fused=True,
                                 )
                             )
-                    # Fused: transform bound to the word count's config.
-                    if self._supports_fusion(backend1, shm1):
-                        fused_plan = PhasePlan(
-                            "transform", backend1, workers1, shm1,
-                            grain=grain1, dict_kind=tr_kind,
-                            fused_with_previous=True,
-                        )
-                        pairs.append(
-                            PairEstimate(
-                                wc=wc_est,
-                                transform=self.model.predict(wl_tr, fused_plan),
-                                fused=True,
-                            )
-                        )
         pairs.sort(key=lambda pair: pair.predicted_s)
 
-        kmeans: list[PhaseEstimate] = [
-            self.model.predict(
-                wl_km, PhasePlan("kmeans", backend, workers, shm)
-            )
-            for backend, workers, shm in configs
-        ]
+        if "kmeans" in cached_phases:
+            kmeans: list[PhaseEstimate] = [
+                self.model.predict(
+                    wl_km, PhasePlan("kmeans", "sequential", 1, cached=True)
+                )
+            ]
+        else:
+            kmeans = [
+                self.model.predict(
+                    wl_km, PhasePlan("kmeans", backend, workers, shm)
+                )
+                for backend, workers, shm in configs
+            ]
         kmeans.sort(key=lambda estimate: estimate.predicted_s)
 
         best_pair, best_km = pairs[0], kmeans[0]

@@ -1,0 +1,151 @@
+"""On-disk store: round-trips, corruption demotion, atomicity, eviction."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cache.store import CacheStore
+from repro.errors import CacheError
+
+
+def _store(tmp_path, **kw) -> CacheStore:
+    return CacheStore(str(tmp_path / "cache"), **kw)
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        stored = store.put("k1", {"rows": [1, 2, 3]}, seconds=0.5)
+        payload, seconds, size = store.get("k1")
+        assert payload == {"rows": [1, 2, 3]}
+        assert seconds == 0.5
+        assert size == stored
+        assert "k1" in store and len(store) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert _store(tmp_path).get("absent") is None
+
+    def test_flush_then_reopen_preserves_entries(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", [1, 2], seconds=0.25)
+        store.flush()
+        reopened = _store(tmp_path)
+        payload, seconds, _size = reopened.get("k1")
+        assert payload == [1, 2]
+        assert seconds == 0.25
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        with pytest.raises(CacheError):
+            store.put(".hidden", 1)
+        with pytest.raises(CacheError):
+            store.put(f"up{os.sep}escape", 1)
+
+    def test_nonpositive_budget_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            _store(tmp_path, max_bytes=0)
+
+
+class TestCorruption:
+    def test_corrupt_payload_is_a_miss_and_deleted(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1})
+        obj = os.path.join(store.root, "objects", "k1.pkl")
+        with open(obj, "wb") as handle:
+            handle.write(b"\x80garbage not a pickle")
+        assert store.get("k1") is None
+        assert "k1" not in store
+        assert not os.path.exists(obj)
+
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", list(range(1000)))
+        obj = os.path.join(store.root, "objects", "k1.pkl")
+        blob = open(obj, "rb").read()
+        with open(obj, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert store.get("k1") is None
+
+    def test_corrupt_index_rebuilt_from_objects(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1}, seconds=0.7)
+        store.put("k2", {"y": 2})
+        store.flush()
+        with open(os.path.join(store.root, "index.json"), "w") as handle:
+            handle.write('{"version": 1, "entr')  # truncated mid-write
+        rebuilt = _store(tmp_path)
+        assert set(["k1", "k2"]) <= {k for k in ("k1", "k2") if k in rebuilt}
+        payload, seconds, _ = rebuilt.get("k1")
+        assert payload == {"x": 1}
+        # Recovered entries lose their recorded compute time, nothing else.
+        assert seconds == 0.0
+
+    def test_index_entry_without_payload_dropped(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", 1)
+        store.flush()
+        os.unlink(os.path.join(store.root, "objects", "k1.pkl"))
+        assert "k1" not in _store(tmp_path)
+
+
+class TestAtomicity:
+    def test_flush_leaves_no_temp_files(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1})
+        store.flush()
+        leftovers = [
+            name
+            for root, _dirs, names in os.walk(store.root)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_index_is_valid_json_after_flush(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1}, seconds=0.1)
+        store.flush()
+        with open(os.path.join(store.root, "index.json")) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        assert payload["entries"]["k1"]["seconds"] == 0.1
+
+    def test_failed_put_leaves_previous_entry_intact(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1})
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("cannot pickle")
+
+        with pytest.raises(RuntimeError):
+            store.put("k1", Unpicklable())
+        payload, _, _ = store.get("k1")
+        assert payload == {"x": 1}
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self, tmp_path):
+        store = _store(tmp_path, max_bytes=250)
+        store.put("a", b"x" * 100)
+        store.put("b", b"y" * 100)
+        assert store.get("a") is not None  # refresh a: b becomes LRU
+        store.put("c", b"z" * 100)
+        assert "b" not in store
+        assert "a" in store and "c" in store
+
+    def test_newest_entry_always_survives(self, tmp_path):
+        store = _store(tmp_path, max_bytes=10)
+        store.put("huge", b"x" * 1000)
+        assert "huge" in store
+
+    def test_total_bytes_tracks_entries(self, tmp_path):
+        store = _store(tmp_path)
+        a = store.put("a", b"x" * 10)
+        b = store.put("b", b"y" * 20)
+        assert store.total_bytes == a + b
+        store.delete("a")
+        assert store.total_bytes == b

@@ -78,6 +78,45 @@ class TestRoundTrip:
         second = CalibrationStore.load_or_probe(path, corpus)
         assert first.to_dict() == second.to_dict()
 
+    def test_save_is_atomic(self, probed, tmp_path):
+        import json
+        import os
+
+        path = str(tmp_path / "calib.json")
+        probed.save(path)
+        probed.save(path)  # overwrite goes through the same replace
+        with open(path, "r", encoding="utf-8") as handle:
+            json.load(handle)  # never a partially written file
+        assert not [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ]
+
+    def test_load_empty_file_names_path_and_cause(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = str(tmp_path / "calib.json")
+        open(path, "w").close()
+        with pytest.raises(ConfigurationError, match="calib.json") as err:
+            CalibrationStore.load(path)
+        assert "truncated" in str(err.value)
+        assert "delete it" in str(err.value)
+
+    def test_load_corrupt_json_names_path_and_cause(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = str(tmp_path / "calib.json")
+        with open(path, "w") as handle:
+            handle.write('{"phases": {"input+wc"')
+        with pytest.raises(ConfigurationError, match="calib.json") as err:
+            CalibrationStore.load(path)
+        assert "not valid JSON" in str(err.value)
+
+    def test_cache_serve_constant_round_trips(self, probed):
+        clone = CalibrationStore.from_dict(
+            dict(probed.to_dict(), cache_serve_ns_per_doc=123.0)
+        )
+        assert clone.cache_serve_ns_per_doc == 123.0
+
 
 class TestObserveRun:
     def test_fit_from_synthetic_spans_and_ipc(self):

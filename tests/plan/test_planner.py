@@ -209,3 +209,70 @@ class TestAdaptivePlanner:
         payload = json.loads(json.dumps(plan.summary_dict()))
         assert payload["fused"] == plan.fused
         assert set(payload["phases"]) == set(PHASES)
+
+
+class TestCachedPhases:
+    """Result-cache integration: cached phases are pinned, not enumerated."""
+
+    def test_cached_phase_priced_at_serve_speed(self):
+        model = RealCostModel(make_store(), cpu_count=1)
+        workload = PhaseWorkload("kmeans", 1000, iterations=50)
+        cached = model.predict(
+            workload, PhasePlan("kmeans", "sequential", cached=True)
+        )
+        computed = model.predict(workload, PhasePlan("kmeans", "sequential"))
+        assert set(cached.breakdown) == {"cache_serve"}
+        assert cached.predicted_s < computed.predicted_s
+        # Serving ignores the iteration count: the clustering comes whole.
+        more_iters = model.predict(
+            PhaseWorkload("kmeans", 1000, iterations=500),
+            PhasePlan("kmeans", "sequential", cached=True),
+        )
+        assert more_iters.predicted_s == cached.predicted_s
+
+    def test_cached_plan_describes_itself(self):
+        assert PhasePlan("kmeans", "sequential", cached=True).describe() == "cached"
+
+    def test_all_phases_cached_pins_every_plan(self):
+        planner = AdaptivePlanner(make_store(), cpu_count=8, shm_ok=True)
+        plan = planner.plan(
+            n_docs=5000,
+            cached_phases=frozenset({"input+wc", "transform", "kmeans"}),
+        )
+        for phase in PHASES:
+            assert plan.phases[phase].cached, phase
+        assert len(plan.pair_candidates) == 1
+        assert len(plan.kmeans_candidates) == 1
+        assert not plan.fused
+
+    def test_partial_cache_still_enumerates_the_live_phase(self):
+        planner = AdaptivePlanner(make_store(), cpu_count=4, shm_ok=True)
+        plan = planner.plan(
+            n_docs=1000, cached_phases=frozenset({"input+wc"})
+        )
+        assert plan.phases["input+wc"].cached
+        assert not plan.phases["transform"].cached
+        # The transform is still chosen from real candidates, unfused
+        # (a served word count has no live pool to fuse into).
+        assert len(plan.pair_candidates) > 1
+        assert all(not pair.fused for pair in plan.pair_candidates)
+
+    def test_allow_fusion_false_drops_fused_candidates(self):
+        store = make_store(
+            compute_ns=5_000_000.0, task_bytes=50_000.0, result_bytes=10.0,
+            pickle_ns=1.0, spawn_s=0.001,
+        )
+        planner = AdaptivePlanner(store, cpu_count=8, shm_ok=True)
+        assert planner.plan(n_docs=5000).fused  # sanity: fusion would win
+        plan = planner.plan(n_docs=5000, allow_fusion=False)
+        assert not plan.fused
+        assert all(not pair.fused for pair in plan.pair_candidates)
+
+    def test_cached_phases_beat_any_computed_candidate(self):
+        planner = AdaptivePlanner(make_store(), cpu_count=1, shm_ok=False)
+        cached = planner.plan(
+            n_docs=1000,
+            cached_phases=frozenset({"input+wc", "transform", "kmeans"}),
+        )
+        live = planner.plan(n_docs=1000)
+        assert cached.predicted_total_s < live.predicted_total_s

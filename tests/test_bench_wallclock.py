@@ -14,6 +14,7 @@ import pytest
 import repro.bench.wallclock as wallclock_module
 from repro.bench.wallclock import (
     _best_of,
+    bench_cache,
     bench_ipc_sweep,
     bench_read_sweep,
     bench_wallclock,
@@ -228,6 +229,52 @@ class TestBenchPlan:
             assert fusion["eliminated_bytes"] > 0
         else:
             assert record["fusion"] is None
+
+
+class TestBenchCache:
+    def test_record_structure_and_equivalence(self, tmp_path):
+        record = bench_cache(
+            scale=0.002, repeats=1, kmeans_iters=2,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert record["benchmark"] == "wallclock"
+        assert record["mode"] == "cache"
+        assert record["config"]["shard_docs"] > 0
+
+        scenarios = [run["scenario"] for run in record["runs"]]
+        assert scenarios == ["uncached", "cold", "warm", "incremental"]
+        for run in record["runs"]:
+            assert run["ok"] is True, run["scenario"]
+            assert run["total_s"] > 0
+
+        cold, warm, incremental = record["runs"][1:]
+        assert cold["cache"]["misses"] == 3 and cold["cache"]["stored"] > 0
+        assert warm["cache"]["hits"] == 3 and warm["cache"]["misses"] == 0
+        # The modified corpus reuses untouched leading word-count shards.
+        assert incremental["wc_shard_hits"] >= 0
+        assert incremental["uncached_total_s"] > 0
+
+        summary = record["cache_summary"]
+        assert summary["warm_speedup_vs_uncached"] > 0
+        assert summary["warm_bytes_served"] > 0
+        assert summary["warm_seconds_saved"] >= 0
+        assert summary["cold_store_overhead_s"] == (
+            pytest.approx(cold["total_s"] - record["runs"][0]["total_s"])
+        )
+
+    def test_record_passes_the_validator(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_bench", os.path.join(REPO, "tools", "validate_bench.py")
+        )
+        validate_bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(validate_bench)
+        record = bench_cache(
+            scale=0.002, repeats=1, kmeans_iters=2,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert validate_bench.validate([record]) == []
 
 
 class TestBenchWallclockTool:

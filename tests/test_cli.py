@@ -347,3 +347,77 @@ class TestPlannedPipeline:
                      "--plan", "auto", "--retries", "2"]) == 2
         err = capsys.readouterr().err
         assert "--plan fixed" in err
+
+    def test_auto_plan_conflict_names_every_offending_flag(
+        self, corpus_dir, capsys
+    ):
+        # Fail fast at argument validation — before any corpus read —
+        # naming each conflicting flag, not just a generic policy error.
+        assert main(["pipeline", "--input", corpus_dir, "--plan", "auto",
+                     "--retries", "2", "--task-timeout", "5",
+                     "--on-poison", "quarantine", "--degrade"]) == 2
+        err = capsys.readouterr().err
+        for flag in ("--retries", "--task-timeout", "--on-poison",
+                     "--degrade", "--plan fixed"):
+            assert flag in err
+
+    def test_auto_plan_conflict_precedes_input_validation(
+        self, tmp_path, capsys
+    ):
+        # The conflict is caught even when the input directory is bogus:
+        # argument validation runs before the stream is opened.
+        missing = str(tmp_path / "nonexistent")
+        assert main(["pipeline", "--input", missing,
+                     "--plan", "auto", "--degrade"]) == 2
+        assert "--degrade" in capsys.readouterr().err
+
+    def test_plan_fixed_still_accepts_resilience_flags(self, corpus_dir):
+        assert main(["pipeline", "--input", corpus_dir, "--retries", "1",
+                     "--max-iters", "2"]) == 0
+
+
+class TestCachedPipeline:
+    """--cache: phase results served from disk, bit-identically."""
+
+    def test_cache_flag_defaults(self):
+        args = build_parser().parse_args(["pipeline", "--input", "x"])
+        assert args.cache is None
+        assert args.cache_max_mb is None
+
+    def test_warm_run_serves_and_reports(self, corpus_dir, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        cold_out = str(tmp_path / "cold.txt")
+        warm_out = str(tmp_path / "warm.txt")
+        assert main(["pipeline", "--input", corpus_dir, "--cache", cache,
+                     "--output", cold_out, "--max-iters", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert "cache: 0 hit(s), 3 miss(es)" in cold
+        assert main(["pipeline", "--input", corpus_dir, "--cache", cache,
+                     "--output", warm_out, "--max-iters", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 3 hit(s), 0 miss(es)" in warm
+        assert "served" in warm and "saved" in warm
+        assert open(warm_out).read() == open(cold_out).read()
+
+    def test_cache_with_auto_plan_pins_cached_phases(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        calib = str(tmp_path / "calib.json")
+        for _ in range(2):
+            assert main(["pipeline", "--input", corpus_dir, "--cache", cache,
+                         "--plan", "auto", "--calibration", calib,
+                         "--max-iters", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert "cached" in warm
+        assert "cache: 3 hit(s), 0 miss(es)" in warm
+
+    def test_cache_max_mb_requires_cache(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir,
+                     "--cache-max-mb", "10"]) == 2
+        assert "--cache" in capsys.readouterr().err
+
+    def test_no_cache_prints_no_cache_line(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir,
+                     "--max-iters", "2"]) == 0
+        assert "cache:" not in capsys.readouterr().out

@@ -31,6 +31,16 @@ def _record(mode="backends", **overrides):
     if mode == "plan":
         record["planned_vs_fixed"] = {"within_tolerance": True}
         record["fusion"] = None
+    if mode == "cache":
+        snapshot = {
+            "hits": 3, "misses": 0, "bytes_saved": 1e6, "seconds_saved": 0.5
+        }
+        record["cache_summary"] = {"warm_speedup_vs_uncached": 10.0}
+        record["runs"] = [
+            {"scenario": "uncached", "total_s": 0.5, "ok": True},
+            {"scenario": "warm", "total_s": 0.05, "ok": True,
+             "cache": dict(snapshot)},
+        ]
     record.update(overrides)
     return record
 
@@ -96,6 +106,34 @@ class TestValidate:
     def test_empty_file_is_invalid(self):
         assert validate_bench.validate([]) != []
 
+    def test_cache_record_round_trips(self):
+        assert validate_bench.validate([_record(mode="cache")]) == []
+
+    def test_cache_record_needs_summary(self):
+        record = _record(mode="cache")
+        del record["cache_summary"]
+        problems = validate_bench.validate([record])
+        assert any("cache_summary" in p for p in problems)
+
+    def test_cached_run_needs_accounting_snapshot(self):
+        record = _record(mode="cache")
+        del record["runs"][1]["cache"]
+        problems = validate_bench.validate([record])
+        assert any("accounting snapshot" in p for p in problems)
+
+    def test_cached_run_snapshot_needs_every_counter(self):
+        record = _record(mode="cache")
+        del record["runs"][1]["cache"]["seconds_saved"]
+        problems = validate_bench.validate([record])
+        assert any("seconds_saved" in p for p in problems)
+
+    def test_uncached_reference_run_needs_no_snapshot(self):
+        # The uncached baseline never touches the cache; demanding a
+        # snapshot from it would force a fake one into the record.
+        record = _record(mode="cache")
+        assert "cache" not in record["runs"][0]
+        assert validate_bench.validate([record]) == []
+
 
 class TestCli:
     def test_committed_trajectory_passes(self, capsys):
@@ -108,3 +146,24 @@ class TestCli:
         path.write_text(json.dumps([_record(mode="vibes")]))
         assert validate_bench.main([str(path)]) == 1
         assert "unknown mode" in capsys.readouterr().err
+
+    def test_empty_file_names_truncation(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text("")
+        assert validate_bench.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "truncated" in err
+        assert "version control" in err
+
+    def test_truncated_json_names_corruption(self, tmp_path, capsys):
+        # The first half of a real trajectory: what a killed non-atomic
+        # writer would have left behind.
+        blob = json.dumps([_record(), _record(mode="plan")])
+        path = tmp_path / "bench.json"
+        path.write_text(blob[: len(blob) // 2])
+        assert validate_bench.main([str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unreadable_path_exits_nonzero(self, tmp_path, capsys):
+        assert validate_bench.main([str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err

@@ -24,6 +24,11 @@ trajectory:
   wc→transform path against the unfused one where shm is available);
   exits nonzero if the planned total is not within 10% of the best fixed
   total, or if fusion fails to eliminate transform task-pickle bytes.
+* ``--mode cache`` runs the cold → warm → incremental triple through the
+  phase-level result cache; exits nonzero unless the warm run serves all
+  three phases bit-identically with zero recompute and the incremental
+  run (tail-edited + appended corpus) matches an uncached run on the
+  modified corpus while reusing unchanged word-count shards.
 
 Usage::
 
@@ -55,15 +60,24 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.bench.wallclock import (  # noqa: E402
     DEFAULT_READ_WORKER_SWEEP,
     DEFAULT_WORKER_SWEEP,
+    bench_cache,
     bench_fault_recovery,
     bench_ipc_sweep,
     bench_plan,
     bench_read_sweep,
     bench_wallclock,
 )
+from repro.io.atomic import atomic_write_text  # noqa: E402
 
 
 def _write(out: str, record: dict, append: bool) -> None:
+    """Write (or append to) the records file atomically.
+
+    The trajectory file is append-forever: a crash mid-write must leave
+    either the old contents or the new, never a truncated JSON document
+    that poisons every later ``--append``. Serialization happens before
+    the target is touched; the replace is a single ``os.replace``.
+    """
     if append and os.path.exists(out):
         with open(out, "r", encoding="utf-8") as handle:
             existing = json.load(handle)
@@ -71,21 +85,21 @@ def _write(out: str, record: dict, append: bool) -> None:
         records.append(record)
     else:
         records = record
-    with open(out, "w", encoding="utf-8") as handle:
-        json.dump(records, handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(out, json.dumps(records, indent=2) + "\n")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
-                        choices=["backends", "read", "ipc", "faults", "plan"],
+                        choices=["backends", "read", "ipc", "faults", "plan",
+                                 "cache"],
                         default="backends",
                         help="sweep compute backends, read-worker counts "
                         "over an on-disk corpus (paper §3.2), the "
                         "shared-memory plane on/off with IPC accounting, "
-                        "fault-injection recovery scenarios, or the "
-                        "adaptive planner vs fixed configurations")
+                        "fault-injection recovery scenarios, the adaptive "
+                        "planner vs fixed configurations, or the "
+                        "cold/warm/incremental result-cache triple")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -139,7 +153,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.compute_workers is None:
             args.compute_workers = 2
 
-    if args.mode == "plan":
+    if args.mode == "cache":
+        record = bench_cache(
+            profile=args.profile,
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+        )
+    elif args.mode == "plan":
         record = bench_plan(
             profile=args.profile,
             scale=args.scale,
@@ -196,7 +218,23 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "plan":
+    if args.mode == "cache":
+        header = (f"{'scenario':>12} {'total_s':>9} {'hits':>5} "
+                  f"{'misses':>7} {'shard_hits':>10} {'MB_served':>10} ok")
+        print(header)
+        for run in record["runs"]:
+            cache = run.get("cache") or {}
+            print(f"{run['scenario']:>12} {run['total_s']:>9.3f} "
+                  f"{cache.get('hits', 0):>5} {cache.get('misses', 0):>7} "
+                  f"{cache.get('shard_hits', 0):>10} "
+                  f"{cache.get('bytes_saved', 0) / 1e6:>10.2f} "
+                  f"{'yes' if run['ok'] else 'NO'}")
+        summary = record["cache_summary"]
+        print(f"warm serve: {summary['warm_speedup_vs_uncached']:.1f}x vs "
+              f"uncached ({summary['warm_seconds_saved']:.3f}s of compute "
+              f"skipped); cold store overhead "
+              f"{summary['cold_store_overhead_s']:.3f}s")
+    elif args.mode == "plan":
         header = f"{'config':>26} {'total_s':>9} {'plan_s':>8} ok"
         print(header)
         for run in record["runs"]:

@@ -7,8 +7,8 @@ across PRs:
 * top level is a list of records (a legacy single record is accepted and
   reported, but new files should be lists);
 * every record has ``benchmark == "wallclock"``, a known ``mode``
-  (``backends``/``read``/``ipc``/``faults``/``plan``), and the shared
-  envelope keys: ``profile``, ``scale``, ``n_docs``, ``repeats``,
+  (``backends``/``read``/``ipc``/``faults``/``plan``/``cache``), and the
+  shared envelope keys: ``profile``, ``scale``, ``n_docs``, ``repeats``,
   ``kmeans_iters``, ``host``, ``config``, ``runs``;
 * ``host`` carries ``platform``/``python``/``cpu_count``; ``config`` is
   an object (the mode's backend-side knobs); ``runs`` is a non-empty
@@ -16,7 +16,14 @@ across PRs:
 * every run passes its own self-check: ``ok`` when present, else
   ``output_identical``;
 * ``plan`` records additionally carry ``planned_vs_fixed`` (with
-  ``within_tolerance``) and a ``fusion`` section (object or null).
+  ``within_tolerance``) and a ``fusion`` section (object or null);
+* ``cache`` records additionally carry ``cache_summary``, and every
+  cached scenario's run embeds its ``cache`` accounting snapshot
+  (``hits``/``misses``/``bytes_saved``/``seconds_saved``);
+* a truncated, empty, or otherwise unparseable file fails loudly with a
+  diagnostic naming the path — it is the append-forever performance
+  trajectory, so silent acceptance of a half-written file would poison
+  every later append.
 
 Usage::
 
@@ -31,7 +38,10 @@ import argparse
 import json
 import sys
 
-_MODES = {"backends", "read", "ipc", "faults", "plan"}
+_MODES = {"backends", "read", "ipc", "faults", "plan", "cache"}
+
+#: Accounting counters every cached scenario's snapshot must carry.
+_CACHE_RUN_KEYS = ("hits", "misses", "bytes_saved", "seconds_saved")
 
 _ENVELOPE_KEYS = (
     "benchmark", "mode", "profile", "scale", "n_docs", "repeats",
@@ -104,6 +114,28 @@ def _validate_record(record: object, label: str) -> list[str]:
             problems.append(f"{label}: plan record lacks 'fusion'")
         elif record["fusion"] is not None and not record["fusion"].get("ok"):
             problems.append(f"{label}: fusion failed to eliminate bytes")
+
+    if record["mode"] == "cache":
+        if not isinstance(record.get("cache_summary"), dict):
+            problems.append(f"{label}: cache record lacks 'cache_summary'")
+        for index, run in enumerate(runs):
+            if not isinstance(run, dict):
+                continue
+            if run.get("scenario") == "uncached":
+                continue
+            snapshot = run.get("cache")
+            if not isinstance(snapshot, dict):
+                problems.append(
+                    f"{label}: cache run {index} lacks its 'cache' "
+                    f"accounting snapshot"
+                )
+                continue
+            for key in _CACHE_RUN_KEYS:
+                if not isinstance(snapshot.get(key), (int, float)):
+                    problems.append(
+                        f"{label}: cache run {index} snapshot lacks "
+                        f"numeric {key!r}"
+                    )
     return problems
 
 
@@ -125,9 +157,26 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         with open(args.bench, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot load {args.bench}: {exc}", file=sys.stderr)
+            raw = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.bench}: {exc}", file=sys.stderr)
+        return 1
+    if not raw.strip():
+        print(
+            f"error: {args.bench} is empty — the file was truncated "
+            f"(interrupted write?); restore it from version control before "
+            f"appending new records",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        print(
+            f"error: {args.bench} is not valid JSON (truncated or corrupt "
+            f"— restore it from version control): {exc}",
+            file=sys.stderr,
+        )
         return 1
 
     problems = validate(payload)
