@@ -1,0 +1,114 @@
+"""Child process for the out-of-core benchmark (``--mode oocore``).
+
+``ru_maxrss`` is a per-process high-water mark and never goes down, so
+one process cannot measure an untiled reference *and* a budgeted run —
+the first would contaminate every later reading. The benchmark therefore
+runs each configuration in a fresh child: this module regenerates the
+deterministic synthetic corpus, runs the pipeline (optionally under a
+``memory_budget`` and/or an ``RLIMIT_AS`` address-space cap), and prints
+one JSON line with the output digest and the memory envelope. The parent
+(:func:`repro.bench.wallclock.bench_oocore`) compares digests across
+configurations — the bit-identity check — and asserts the spill plane's
+``peak_pinned_bytes`` stayed under the budget.
+
+Invoked as ``python -m repro.bench.oocore_child '<json config>'``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import struct
+import sys
+
+from repro.core.pipeline import RealRunResult, run_pipeline
+from repro.exec.process import make_backend
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.text.synth import MIX_PROFILE, NSF_ABSTRACTS_PROFILE, generate_corpus
+
+_PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
+
+
+def output_digest(result: RealRunResult) -> str:
+    """One hash over rows, assignments, and raw centroid bytes.
+
+    Struct-packed (not ``repr``) so equal doubles hash equally and any
+    last-ulp drift between tiled and resident execution changes the
+    digest — this is the cross-process form of the bit-identity check.
+    """
+    h = hashlib.sha256()
+    matrix = result.tfidf.matrix
+    h.update(struct.pack("<qq", matrix.n_rows, matrix.n_cols))
+    for row in matrix.iter_rows():
+        idx = [int(i) for i in row.indices]
+        val = [float(v) for v in row.values]
+        h.update(struct.pack(f"<q{len(idx)}q", len(idx), *idx))
+        h.update(struct.pack(f"<{len(val)}d", *val))
+    assignments = result.kmeans.assignments
+    h.update(struct.pack(f"<q{len(assignments)}q", len(assignments), *assignments))
+    h.update(result.kmeans.centroids.tobytes())
+    return h.hexdigest()
+
+
+def _vm_peak_kb() -> int | None:
+    """VmPeak from ``/proc/self/status`` (kB) — the address-space high
+    water the rlimit smoke caps; ``None`` off Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmPeak:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def run_child(config: dict) -> dict:
+    rlimit_as = config.get("rlimit_as")
+    if rlimit_as:
+        resource.setrlimit(resource.RLIMIT_AS, (int(rlimit_as), int(rlimit_as)))
+    corpus = generate_corpus(
+        _PROFILES[config.get("profile", "mix")],
+        scale=float(config.get("scale", 0.01)),
+        seed=int(config.get("seed", 0)),
+    )
+    backend = make_backend(
+        config.get("backend", "sequential"), int(config.get("workers", 1))
+    )
+    try:
+        result = run_pipeline(
+            corpus,
+            backend=backend,
+            tfidf=TfIdfOperator(),
+            kmeans=KMeansOperator(max_iters=int(config.get("kmeans_iters", 5))),
+            memory_budget=config.get("memory_budget"),
+        )
+    finally:
+        backend.close()
+
+    out = {
+        "digest": output_digest(result),
+        "total_s": result.total_s,
+        "phases": dict(result.phase_seconds),
+        "n_docs": len(corpus),
+        "matrix_bytes": result.tfidf.matrix.resident_bytes(),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "vm_peak_kb": _vm_peak_kb(),
+        "tiles": result.tiles,
+    }
+    close = getattr(result.tfidf.matrix, "close", None)
+    if close is not None:
+        close()
+    return out
+
+
+def main(argv: list[str]) -> int:
+    config = json.loads(argv[1]) if len(argv) > 1 else {}
+    print(json.dumps(run_child(config)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,6 +35,13 @@ seconds on the host. It has two modes:
   incremental run (tail-edited + appended corpus) must recompute only
   the changed word-count shards while matching an uncached run on the
   modified corpus exactly.
+* :func:`bench_oocore` — out-of-core tiled data plane: runs the same
+  pipeline in fresh child processes (one per configuration, so each
+  gets its own ``ru_maxrss`` high-water mark) first untiled, then under
+  several memory budgets including budgets *smaller than the matrix*.
+  Budgeted runs must stay bit-identical to the untiled reference
+  (struct-packed output digest) and must keep the spill plane's
+  ``peak_pinned_bytes`` under the budget.
 
 ``tools/bench_wallclock.py`` wraps these into a CLI that appends records
 to ``BENCH_wallclock.json`` — the repo's performance trajectory: every
@@ -49,9 +56,12 @@ benchmark doubles as an end-to-end equivalence check on real hardware.
 
 from __future__ import annotations
 
+import json
 import os
 import platform
+import resource
 import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -81,12 +91,26 @@ __all__ = [
     "bench_fault_recovery",
     "bench_plan",
     "bench_cache",
+    "bench_oocore",
+    "BENCH_SCHEMA",
+    "DEFAULT_OOCORE_FRACTIONS",
     "DEFAULT_WORKER_SWEEP",
     "DEFAULT_READ_WORKER_SWEEP",
     "PLAN_TOLERANCE",
 ]
 
 _PROFILES = {"mix": MIX_PROFILE, "nsf-abstracts": NSF_ABSTRACTS_PROFILE}
+
+#: Envelope schema version. 1 (implicit, historical records carry no
+#: ``schema`` key): the original shape. 2: adds a required top-level
+#: ``peak_rss_kb`` — the benchmarking process's ``ru_maxrss`` — so every
+#: appended record carries its memory envelope alongside wall time.
+BENCH_SCHEMA = 2
+
+#: Memory budgets swept by :func:`bench_oocore`, as fractions of the
+#: measured matrix footprint. Must include at least one fraction < 1 —
+#: the whole point is a run whose budget cannot hold the matrix.
+DEFAULT_OOCORE_FRACTIONS = (2.0, 0.5, 0.25)
 
 #: Worker counts swept for the pooled backends.
 DEFAULT_WORKER_SWEEP = (1, 2, 4)
@@ -186,6 +210,7 @@ def _envelope(
     """
     record = {
         "benchmark": "wallclock",
+        "schema": BENCH_SCHEMA,
         "mode": mode,
         "profile": profile,
         "scale": scale,
@@ -193,6 +218,9 @@ def _envelope(
         "repeats": repeats,
         "kmeans_iters": kmeans_iters,
         "host": _host(),
+        # ru_maxrss is kB on Linux; it is the *harness process's* peak —
+        # per-configuration peaks (child processes) live in each run.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "config": config,
         "runs": runs,
     }
@@ -1031,5 +1059,163 @@ def bench_cache(
             "warm_bytes_served": warm_c["bytes_saved"],
             "warm_seconds_saved": warm_c["seconds_saved"],
             "cold_store_overhead_s": best["cold_s"] - uncached_s,
+        },
+    )
+
+# -- out-of-core tiled execution ---------------------------------------------------
+
+
+def _oocore_child(config: dict, label: str) -> dict:
+    """Run one pipeline configuration in a fresh child process.
+
+    A child per configuration is not optional: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so an in-process untiled reference
+    would inflate every later budgeted reading. The child regenerates the
+    corpus deterministically from (profile, scale, seed) and reports its
+    output digest plus memory envelope as one JSON line.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.oocore_child", json.dumps(config)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        tail = proc.stderr.strip()[-500:]
+        raise BenchmarkError(f"oocore child failed on {label}: {tail}")
+    try:
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError) as exc:
+        raise BenchmarkError(f"oocore child produced no JSON on {label}") from exc
+
+
+def _oocore_best(repeats: int, config: dict, label: str) -> dict:
+    best: dict | None = None
+    for _ in range(max(1, repeats)):
+        out = _oocore_child(config, label)
+        if best is None or out["total_s"] < best["total_s"]:
+            best = out
+    assert best is not None
+    return best
+
+
+def bench_oocore(
+    profile: str = "mix",
+    scale: float = 0.05,
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 3,
+    budget_fractions: Sequence[float] = DEFAULT_OOCORE_FRACTIONS,
+) -> dict:
+    """Bounded-memory execution against an untiled reference.
+
+    One child process runs the pipeline untiled and supplies the
+    reference digest and the measured matrix footprint; one child per
+    budget fraction then reruns it with ``memory_budget = fraction *
+    matrix_bytes``. Two hard gates, both raising
+    :class:`~repro.errors.BenchmarkError` rather than recording a bad
+    run:
+
+    * every budgeted run's output digest equals the reference — tiling
+      is a data-plane change, never a result change;
+    * every budgeted run kept ``tiles.peak_pinned_bytes <= budget`` —
+      the spill plane's deterministic bounded-memory witness.
+
+    ``budget_fractions`` must include at least one value < 1 so the
+    record always contains a run whose budget cannot hold the matrix.
+    """
+    if profile not in _PROFILES:
+        raise BenchmarkError(f"unknown profile {profile!r}")
+    fractions = [float(f) for f in budget_fractions]
+    if not fractions:
+        raise BenchmarkError("budget_fractions must not be empty")
+    if min(fractions) >= 1.0:
+        raise BenchmarkError(
+            "budget_fractions must include a fraction < 1 (a budget that "
+            f"cannot hold the matrix); got {fractions}"
+        )
+    base = {
+        "profile": profile,
+        "scale": scale,
+        "seed": seed,
+        "kmeans_iters": kmeans_iters,
+        "backend": "sequential",
+        "workers": 1,
+    }
+
+    ref = _oocore_best(repeats, base, "oocore untiled reference")
+    matrix_bytes = int(ref["matrix_bytes"])
+    runs = [
+        {
+            "label": "untiled",
+            "memory_budget": None,
+            "budget_fraction": None,
+            "total_s": ref["total_s"],
+            "phases": ref["phases"],
+            "peak_rss_kb": ref["peak_rss_kb"],
+            "vm_peak_kb": ref["vm_peak_kb"],
+            "digest": ref["digest"],
+            "tiles": None,
+            "output_identical": True,
+            "pinned_under_budget": True,
+            "ok": True,
+        }
+    ]
+    for fraction in fractions:
+        budget = max(1, int(matrix_bytes * fraction))
+        label = f"oocore budget={budget} ({fraction:g}x matrix)"
+        out = _oocore_best(repeats, {**base, "memory_budget": budget}, label)
+        tiles = out.get("tiles")
+        identical = out["digest"] == ref["digest"]
+        if not identical:
+            raise BenchmarkError(f"output diverged from untiled reference on {label}")
+        if tiles is None:
+            raise BenchmarkError(f"budgeted run reported no tile stats on {label}")
+        pinned_ok = int(tiles["peak_pinned_bytes"]) <= budget
+        if not pinned_ok:
+            raise BenchmarkError(
+                f"peak_pinned_bytes {tiles['peak_pinned_bytes']} exceeded "
+                f"budget {budget} on {label}"
+            )
+        runs.append(
+            {
+                "label": f"budget-{fraction:g}x",
+                "memory_budget": budget,
+                "budget_fraction": fraction,
+                "total_s": out["total_s"],
+                "phases": out["phases"],
+                "peak_rss_kb": out["peak_rss_kb"],
+                "vm_peak_kb": out["vm_peak_kb"],
+                "digest": out["digest"],
+                "tiles": tiles,
+                "output_identical": identical,
+                "pinned_under_budget": pinned_ok,
+                "ok": identical and pinned_ok,
+            }
+        )
+    return _envelope(
+        "oocore", profile, scale, int(ref["n_docs"]), repeats, kmeans_iters,
+        config={
+            "backend": "sequential",
+            "workers": 1,
+            "seed": seed,
+            "budget_fractions": fractions,
+        },
+        runs=runs,
+        oocore_summary={
+            "matrix_bytes": matrix_bytes,
+            "reference_digest": ref["digest"],
+            "reference_peak_rss_kb": ref["peak_rss_kb"],
+            "min_budget_fraction": min(fractions),
+            "all_identical": all(r["output_identical"] for r in runs),
+            "all_under_budget": all(r["pinned_under_budget"] for r in runs),
         },
     )

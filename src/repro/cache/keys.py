@@ -128,6 +128,8 @@ _VERSIONED_MODULES = (
     "repro.sparse.vector",
     "repro.sparse.matrix",
     "repro.dicts.snapshot",
+    "repro.tiles.format",
+    "repro.tiles.matrix",
 )
 
 _code_version_cache: str | None = None

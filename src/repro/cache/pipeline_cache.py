@@ -134,6 +134,14 @@ class RunCacheSession:
         self.tr_key = cache_keys.phase_key(
             "tr", self._tr_cfg, fingerprint.corpus_digest
         )
+        #: Tiled-transform manifest entry: same corpus × config, distinct
+        #: kind so tiled and resident runs never serve each other's shape.
+        self.tr_tiled_key = cache_keys.phase_key(
+            "trt", self._tr_cfg, fingerprint.corpus_digest
+        )
+        # km chains the *untiled* transform key on purpose: tiled and
+        # resident transforms are bit-identical, so one stored clustering
+        # serves both.
         self.km_key = cache_keys.phase_key("km", self._km_cfg, self.tr_key)
         self.stats: dict[str, PhaseCacheStats] = {
             PHASE_INPUT_WC: PhaseCacheStats(),
@@ -147,12 +155,17 @@ class RunCacheSession:
 
     # -- planner integration ---------------------------------------------------------
 
-    def cached_phases(self) -> frozenset[str]:
-        """Phases whose *full* result is present (for plan routing)."""
+    def cached_phases(self, prefer_tiled: bool = False) -> frozenset[str]:
+        """Phases whose *full* result is present (for plan routing).
+
+        ``prefer_tiled=True`` checks the tiled-manifest entry for the
+        transform instead — what a budget-constrained run would serve.
+        """
         cached = set()
         if self.wc_key in self.store:
             cached.add(PHASE_INPUT_WC)
-        if self.tr_key in self.store:
+        tr_key = self.tr_tiled_key if prefer_tiled else self.tr_key
+        if tr_key in self.store:
             cached.add(PHASE_TRANSFORM)
         if self.km_key in self.store:
             cached.add(PHASE_KMEANS)
@@ -502,6 +515,130 @@ class RunCacheSession:
                 seconds=per_doc_s * (stop - start),
             )
             stats.stored += 1
+
+    # -- phase 2b: tiled transform --------------------------------------------------------
+
+    def transform_tiled(self, tfidf_op, wc, store, compute_all) -> TfIdfResult:
+        """Serve or compute the *tiled* transform (full phase only).
+
+        Entries are keyed on the tile manifest: one small manifest entry
+        (vocabulary, idf, per-tile metadata, digest) plus one raw-bytes
+        entry per tile, served one tile at a time into the run's fresh
+        :class:`~repro.tiles.store.TileStore` — the serve path never
+        materializes the matrix, preserving the run's memory budget.
+        There is no shard-incremental form: tile boundaries are part of
+        the manifest digest, so a changed corpus recomputes the phase.
+        A missing or corrupt tile entry deletes the whole family and
+        falls back to recompute.
+        """
+        stats = self.stats[PHASE_TRANSFORM]
+        t0 = time.perf_counter()
+        hit = self.store.get(self.tr_tiled_key)
+        if hit is not None:
+            payload, stored_s, stored_bytes = hit
+            served = self._serve_transform_tiled(payload, wc, store)
+            if served is not None:
+                result, tile_bytes = served
+                serve_s = time.perf_counter() - t0
+                stats.hits += 1
+                stats.bytes_saved += stored_bytes + tile_bytes
+                stats.seconds_saved += max(0.0, stored_s - serve_s)
+                stats.serve_s += serve_s
+                return result
+            # A damaged family was deleted inside the serve attempt;
+            # recompute below exactly as on a plain miss.
+        stats.misses += 1
+        t1 = time.perf_counter()
+        result = compute_all()
+        compute_s = time.perf_counter() - t1
+        self._store_transform_tiled(result, store, compute_s, stats)
+        return result
+
+    def _tile_key(self, manifest_digest: str, name: str) -> str:
+        return cache_keys.shard_key(
+            "trtile", self._tr_cfg, manifest_digest, extra=name
+        )
+
+    def _serve_transform_tiled(self, payload, wc, store):
+        """Adopt cached tile blobs into ``store``; ``None`` on any damage."""
+        from repro.errors import TileError
+        from repro.tiles.matrix import TiledCsrMatrix
+
+        tile_keys = [
+            key for key in payload.get("tile_keys", ()) if isinstance(key, str)
+        ]
+        try:
+            store.reset()
+            tile_bytes = 0
+            for key in tile_keys:
+                entry = self.store.get(key)
+                if entry is None:
+                    raise TileError(f"missing cached tile entry {key}")
+                blob, _stored_s, stored_bytes = entry
+                store.adopt_tile(blob)  # verifies the CRC before adopting
+                tile_bytes += stored_bytes
+            manifest = store.seal(payload["n_cols"])
+            if manifest.digest() != payload["manifest_digest"]:
+                raise TileError("cached tile manifest digest mismatch")
+        except (TileError, KeyError, ValueError, TypeError):
+            # One bad piece invalidates the family: a partial adoption
+            # must not survive to serve a later run.
+            for key in tile_keys:
+                self.store.delete(key)
+            self.store.delete(self.tr_tiled_key)
+            store.reset()
+            return None
+        result = TfIdfResult(
+            matrix=TiledCsrMatrix(manifest, store=store),
+            vocabulary=list(payload["vocabulary"]),
+            idf=list(payload["idf"]),
+            wordcount=wc,
+        )
+        return result, tile_bytes
+
+    def _store_transform_tiled(self, result, store, compute_s, stats) -> None:
+        matrix = result.matrix
+        manifest = getattr(matrix, "manifest", None)
+        if (
+            self.disabled
+            or manifest is None
+            or matrix.n_rows != self.fp.n_docs
+        ):
+            self.disabled = self.disabled or manifest is None
+            return
+        digest = manifest.digest()
+        tile_keys = []
+        per_tile_s = compute_s / max(1, len(manifest.tiles))
+        for meta in manifest.tiles:
+            key = self._tile_key(digest, meta.name)
+            # One tile's raw bytes at a time — the store path stays
+            # inside the run's memory budget.
+            self.store.put(key, store.tile_bytes(meta), seconds=per_tile_s)
+            tile_keys.append(key)
+            stats.stored += 1
+        self.store.put(
+            self.tr_tiled_key,
+            {
+                "vocabulary": list(result.vocabulary),
+                "idf": list(result.idf),
+                "n_cols": manifest.n_cols,
+                "manifest_digest": digest,
+                "tiles": [
+                    {
+                        "name": meta.name,
+                        "row_start": meta.row_start,
+                        "n_rows": meta.n_rows,
+                        "nnz": meta.nnz,
+                        "nbytes": meta.nbytes,
+                        "checksum": meta.checksum,
+                    }
+                    for meta in manifest.tiles
+                ],
+                "tile_keys": tile_keys,
+            },
+            seconds=compute_s,
+        )
+        stats.stored += 1
 
     # -- phase 3: k-means ---------------------------------------------------------------
 

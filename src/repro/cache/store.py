@@ -140,15 +140,20 @@ class CacheStore:
         return payload, meta["seconds"], meta["bytes"]
 
     def put(self, key: str, payload, seconds: float = 0.0) -> int:
-        """Store ``payload`` under ``key``; returns the stored byte count."""
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        """Store ``payload`` under ``key``; returns the stored byte count.
+
+        The pickle streams directly into the temp file — no transient
+        ``dumps`` copy of the whole payload in memory, which matters for
+        matrix-sized entries under a bounded-memory run.
+        """
         path = self._object_path(key)
         fd, tmp_path = tempfile.mkstemp(
             prefix=key + ".", suffix=".tmp", dir=self._objects
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                nbytes = handle.tell()
             os.replace(tmp_path, path)
         except BaseException:
             try:
@@ -158,10 +163,10 @@ class CacheStore:
             raise
         self._clock += 1
         self._index[key] = {
-            "bytes": len(blob), "seconds": seconds, "used": self._clock,
+            "bytes": nbytes, "seconds": seconds, "used": self._clock,
         }
         self._evict()
-        return len(blob)
+        return nbytes
 
     def delete(self, key: str) -> None:
         self._index.pop(key, None)

@@ -250,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-mb", type=float, default=None, metavar="MB",
         help="evict least-recently-used cache entries beyond this size",
     )
+    pipe.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="bound the TF/IDF matrix's resident footprint: score tiles "
+        "spill to disk and phases stream them chunk-at-a-time, "
+        "bit-identically (see docs/data_plane.md); under --plan auto the "
+        "planner tiles only when the matrix exceeds the budget",
+    )
     _add_backend_args(pipe)
     _add_read_args(pipe)
 
@@ -431,6 +438,15 @@ def _cmd_pipeline(args) -> int:
         seed=args.seed,
         init=args.init,
     )
+    memory_budget = (
+        int(args.memory_budget_mb * 1e6)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    if memory_budget is not None and memory_budget <= 0:
+        raise ConfigurationError(
+            f"--memory-budget-mb must be > 0, got {args.memory_budget_mb}"
+        )
     if auto_plan:
         result = run_pipeline(
             stream,
@@ -440,6 +456,7 @@ def _cmd_pipeline(args) -> int:
             kmeans=kmeans,
             trace=args.trace is not None,
             cache=cache,
+            memory_budget=memory_budget,
         )
     else:
         with _make_cli_backend(args) as backend:
@@ -451,6 +468,7 @@ def _cmd_pipeline(args) -> int:
                 trace=args.trace is not None,
                 degrade=args.degrade,
                 cache=cache,
+                memory_budget=memory_budget,
             )
 
     if args.arff is not None:
@@ -520,6 +538,14 @@ def _cmd_pipeline(args) -> int:
             f"stored {c['stored']} entr{'y' if c['stored'] == 1 else 'ies'}"
             + (" [disabled after quarantine]" if c["disabled"] else "")
         )
+    if result.tiles is not None:
+        t = result.tiles
+        print(
+            f"tiles: {t['tiles']} spilled ({t['tile_bytes'] / 1e6:.2f} MB "
+            f"on disk), peak pinned {t['peak_pinned_bytes'] / 1e6:.2f} MB "
+            f"of {t['memory_budget'] / 1e6:.2f} MB budget, "
+            f"{t['reads']} read(s), {t['evictions']} eviction(s)"
+        )
     if result.trace is not None:
         result.trace.write_chrome_trace(args.trace)
         summary = result.trace.phase_summary()
@@ -533,6 +559,9 @@ def _cmd_pipeline(args) -> int:
     print(f"cluster sizes: {result.kmeans.cluster_sizes()} "
           f"({result.kmeans.n_iters} iterations, "
           f"converged={result.kmeans.converged})")
+    close = getattr(result.tfidf.matrix, "close", None)
+    if close is not None:
+        close()  # a tiled matrix owns its spill directory
     return 0
 
 

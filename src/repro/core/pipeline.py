@@ -110,6 +110,12 @@ class RealRunResult:
     #: :meth:`repro.cache.pipeline_cache.RunCacheSession.snapshot`);
     #: ``None`` when the run had no cache.
     cache: dict | None = None
+    #: Spill accounting when the run went through the tiled data plane
+    #: (tile counts/bytes, pinned-byte peak, evictions, spill dir — see
+    #: :meth:`repro.tiles.matrix.TiledCsrMatrix.spill_stats`); ``None``
+    #: for resident-matrix runs. The matrix on ``tfidf.matrix`` still
+    #: maps these tiles — call its ``close()`` when done with the result.
+    tiles: dict | None = None
 
     @property
     def total_s(self) -> float:
@@ -127,6 +133,7 @@ def run_pipeline(
     plan: RealPlan | str | None = None,
     calibration: CalibrationStore | str | None = None,
     cache: PipelineCache | str | None = None,
+    memory_budget: int | None = None,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -175,6 +182,16 @@ def run_pipeline(
     ``docs/caching.md``). Caching materializes streamed input up front
     (content must be hashed before it can be served) and the run's
     hit/miss/savings accounting lands on ``result.cache``.
+
+    ``memory_budget`` (bytes) switches the matrix phases to the tiled
+    data plane: the transform spills binary row-range tiles to disk as
+    it produces them and k-means streams them back chunk-at-a-time, so
+    peak residency is O(tile + centroids) instead of O(matrix) — with
+    bit-identical output (see ``docs/data_plane.md``). On the fixed
+    path the budget tiles unconditionally; on the planned path it is
+    handed to the planner, which only tiles when the estimated matrix
+    exceeds the budget. The tiled transform is fail-fast (no quarantine
+    bisection), and ``result.tiles`` carries the spill accounting.
     """
     if plan is not None:
         if backend is not None:
@@ -184,7 +201,7 @@ def run_pipeline(
         return _run_planned(
             corpus, plan, tfidf=tfidf, kmeans=kmeans,
             trace=trace, degrade=degrade, calibration=calibration,
-            cache=cache,
+            cache=cache, memory_budget=memory_budget,
         )
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
@@ -269,7 +286,33 @@ def run_pipeline(
         else:
             seconds[PHASE_INPUT_WC] = t1 - t0
 
-        if session is not None:
+        if memory_budget is not None:
+            # Tiled data plane: the transform spills row-range tiles as
+            # it goes, k-means streams them back. The result's matrix
+            # owns the spill store; tiles live until it is closed.
+            from repro.tiles.store import TileStore
+
+            tile_store = TileStore(
+                memory_budget=memory_budget,
+                stats=backend.ipc if backend is not None else None,
+            )
+            tile_docs = _tile_docs(wc, memory_budget)
+
+            def compute_tiled():
+                return run_phase(
+                    PHASE_TRANSFORM,
+                    lambda be: tfidf.transform_wordcount_tiled(
+                        wc, tile_store, backend=be, tile_docs=tile_docs
+                    ),
+                )
+
+            if session is not None:
+                scores = session.transform_tiled(
+                    tfidf, wc, tile_store, compute_all=compute_tiled
+                )
+            else:
+                scores = compute_tiled()
+        elif session is not None:
             scores = session.transform(
                 tfidf,
                 wc,
@@ -340,7 +383,41 @@ def run_pipeline(
         quarantine=quarantine,
         downgrades=downgrades,
         cache=session.snapshot() if session is not None else None,
+        tiles=_spill_snapshot(scores),
     )
+
+
+def _spill_snapshot(scores: TfIdfResult) -> dict | None:
+    """The matrix's spill accounting, when it went through the tile plane."""
+    spill_stats = getattr(scores.matrix, "spill_stats", None)
+    return spill_stats() if spill_stats is not None else None
+
+
+def _must_tile(
+    store: CalibrationStore, n_docs: int, memory_budget: int | None
+) -> bool:
+    """The planner's tiling test, shared so cache routing agrees with it."""
+    if memory_budget is None:
+        return False
+    constants = store.phases.get("transform")
+    if constants is None:
+        return False
+    return int(n_docs * constants.result_bytes_per_doc) > memory_budget
+
+
+def _tile_docs(wc, memory_budget: int) -> int:
+    """Rows per tile under ``memory_budget``, from phase-1 statistics.
+
+    Deliberately an *overestimate* of per-document bytes (every token
+    priced as a distinct nonzero), so a tile plus its working copies
+    land well inside the budget — the target is a quarter of it.
+    """
+    n = wc.n_docs
+    if n <= 0:
+        return 1
+    per_doc = 24.0 * (wc.total_tokens / n) + 40.0
+    docs = int((memory_budget / 4) // per_doc)
+    return max(1, min(n, docs))
 
 
 def _transform_chunks(backend, tfidf, vocabulary, idf, chunks):
@@ -366,6 +443,7 @@ def _run_planned(
     degrade: bool,
     calibration: CalibrationStore | str | None,
     cache: PipelineCache | str | None = None,
+    memory_budget: int | None = None,
 ) -> RealRunResult:
     """Execute a :class:`RealPlan`, phase by phase, on its chosen backends."""
     kmeans = kmeans or KMeansOperator()
@@ -412,10 +490,17 @@ def _run_planned(
             # intermediates never materialize parent-side (nothing could
             # be stored, and the cache wins on repeat traffic anyway).
             cached_phases=(
-                session.cached_phases() if session is not None
+                session.cached_phases(
+                    # Mirror the planner's own must-tile test, so the
+                    # cache entry checked is the one a budgeted plan
+                    # would actually serve.
+                    prefer_tiled=_must_tile(store, len(docs), memory_budget)
+                )
+                if session is not None
                 else frozenset()
             ),
             allow_fusion=session is None,
+            memory_budget=memory_budget,
         )
     elif not isinstance(plan, RealPlan):
         raise ConfigurationError(
@@ -543,30 +628,66 @@ def _run_planned(
             t1 = time.perf_counter()
             seconds[PHASE_INPUT_WC] = t1 - t0
 
-            def compute_tr():
-                return run_phase(
-                    PHASE_TRANSFORM,
-                    backend_for(tr_plan),
-                    lambda be: tfidf.transform_wordcount(
-                        wc, backend=be, grain=tr_plan.grain
-                    ),
+            if tr_plan.tiled:
+                from repro.tiles.store import TileStore
+
+                run_budget = (
+                    plan.memory_budget
+                    if plan.memory_budget is not None
+                    else memory_budget
+                )
+                tile_store = TileStore(
+                    memory_budget=run_budget, stats=primary.ipc
                 )
 
-            if session is not None:
-                scores = session.transform(
-                    tfidf,
-                    wc,
-                    compute_all=compute_tr,
-                    compute_rows=lambda vocabulary, idf, chunks: run_phase(
+                def compute_tr_tiled():
+                    tile_docs = (
+                        _tile_docs(wc, run_budget)
+                        if run_budget is not None
+                        else None
+                    )
+                    return run_phase(
                         PHASE_TRANSFORM,
                         backend_for(tr_plan),
-                        lambda be: _transform_chunks(
-                            be, tfidf, vocabulary, idf, chunks
+                        lambda be: tfidf.transform_wordcount_tiled(
+                            wc, tile_store, backend=be,
+                            grain=tr_plan.grain, tile_docs=tile_docs,
                         ),
-                    ),
-                )
+                    )
+
+                if session is not None:
+                    scores = session.transform_tiled(
+                        tfidf, wc, tile_store, compute_all=compute_tr_tiled
+                    )
+                else:
+                    scores = compute_tr_tiled()
             else:
-                scores = compute_tr()
+                def compute_tr():
+                    return run_phase(
+                        PHASE_TRANSFORM,
+                        backend_for(tr_plan),
+                        lambda be: tfidf.transform_wordcount(
+                            wc, backend=be, grain=tr_plan.grain
+                        ),
+                    )
+
+                if session is not None:
+                    scores = session.transform(
+                        tfidf,
+                        wc,
+                        compute_all=compute_tr,
+                        compute_rows=lambda vocabulary, idf, chunks: (
+                            run_phase(
+                                PHASE_TRANSFORM,
+                                backend_for(tr_plan),
+                                lambda be: _transform_chunks(
+                                    be, tfidf, vocabulary, idf, chunks
+                                ),
+                            )
+                        ),
+                    )
+                else:
+                    scores = compute_tr()
         t2 = time.perf_counter()
         seconds[PHASE_TRANSFORM] = t2 - t1
 
@@ -612,6 +733,7 @@ def _run_planned(
         plan=plan,
         plan_seconds=plan_seconds,
         cache=session.snapshot() if session is not None else None,
+        tiles=_spill_snapshot(scores),
     )
     if observe_store is not None:
         # Keep learning from whatever executed: cached phases ran no

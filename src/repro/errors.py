@@ -12,6 +12,7 @@ __all__ = [
     "ConfigurationError",
     "SchedulerError",
     "StorageError",
+    "TileError",
     "ArffFormatError",
     "WorkflowError",
     "PlannerError",
@@ -37,6 +38,10 @@ class SchedulerError(ReproError):
 
 class StorageError(ReproError):
     """A simulated or real storage operation failed (missing file, etc.)."""
+
+
+class TileError(StorageError):
+    """A binary spill tile is malformed, truncated, or fails its checksum."""
 
 
 class ArffFormatError(ReproError):

@@ -150,6 +150,16 @@ class PhaseIpc:
     pool_restarts: int = 0
     #: Map items (or isolated slices of items) quarantined as poisoned.
     quarantined: int = 0
+    #: Spill tiles written by the out-of-core data plane.
+    tile_writes: int = 0
+    #: Bytes written into spill tiles (header + payload, exact file size).
+    tile_write_bytes: int = 0
+    #: Tile mmap opens (a re-open after eviction counts again).
+    tile_reads: int = 0
+    #: Bytes mapped by those opens.
+    tile_read_bytes: int = 0
+    #: Tiles unmapped by the reader's LRU to stay under the memory budget.
+    tile_evictions: int = 0
 
     def add(self, other: "PhaseIpc") -> None:
         for spec in dataclass_fields(self):
@@ -235,6 +245,19 @@ class IpcStats:
 
     def record_quarantined(self, n_items: int = 1) -> None:
         self._current().quarantined += n_items
+
+    def record_tile_write(self, nbytes: int) -> None:
+        bucket = self._current()
+        bucket.tile_writes += 1
+        bucket.tile_write_bytes += nbytes
+
+    def record_tile_read(self, nbytes: int) -> None:
+        bucket = self._current()
+        bucket.tile_reads += 1
+        bucket.tile_read_bytes += nbytes
+
+    def record_tile_eviction(self) -> None:
+        self._current().tile_evictions += 1
 
     # -- reading ---------------------------------------------------------------
 
@@ -563,24 +586,42 @@ class ShmBroadcast:
             _release_segment(shm)
 
 
-#: Planes whose segments must be unlinked if the owning process dies by
-#: SIGTERM (or plain interpreter exit) before ``close()`` ran. Weak so a
-#: normally-closed, garbage-collected plane does not pin itself here.
-_LIVE_PLANES: "weakref.WeakSet[ShmPlane]" = weakref.WeakSet()
+#: Resources whose backing storage must be released if the owning process
+#: dies by SIGTERM (or plain interpreter exit) before ``close()`` ran:
+#: shm planes, and any other owner of kernel- or disk-backed state that
+#: duck-types ``owner_pid``/``close()`` (the tile spill directories of
+#: :class:`repro.tiles.store.TileStore` register here too). Weak so a
+#: normally-closed, garbage-collected resource does not pin itself here.
+_LIVE_PLANES: "weakref.WeakSet" = weakref.WeakSet()
 
 _CLEANUP_INSTALLED = False
 
 
 def _cleanup_live_planes() -> None:
-    """Unlink every live plane owned by *this* process.
+    """Release every live resource owned by *this* process.
 
     The pid guard matters under ``fork``: worker processes inherit the
     registry (and the signal handler) copy-on-write, and must never
-    unlink segments the parent is still serving.
+    unlink segments (or delete spill tiles) the parent is still serving.
     """
     for plane in list(_LIVE_PLANES):
         if plane.owner_pid == os.getpid():
             plane.close()
+
+
+def register_cleanup_resource(resource) -> None:
+    """Arm atexit/SIGTERM cleanup for any ``owner_pid``/``close()`` owner.
+
+    Generalizes the shm plane hook to file-backed resources: a tile spill
+    directory leaked by a SIGTERM'd run is the disk-sided twin of a leaked
+    ``/dev/shm`` segment, so both ride the same registry and handler.
+    """
+    _install_plane_cleanup()
+    _LIVE_PLANES.add(resource)
+
+
+def unregister_cleanup_resource(resource) -> None:
+    _LIVE_PLANES.discard(resource)
 
 
 def _install_plane_cleanup() -> None:

@@ -38,7 +38,9 @@ __all__ = [
     "count_transform_chunk",
     "init_kmeans_worker",
     "init_kmeans_worker_shm",
+    "init_kmeans_worker_tiled",
     "assign_chunk",
+    "assign_chunk_tiled",
     "assign_block_span",
 ]
 
@@ -283,6 +285,42 @@ def assign_chunk(
     indices, values, sq_norms = _STATE["kmeans"]
     return _assign_block(
         start, stop, centroids, centroid_sq_norms, indices, values, sq_norms
+    )
+
+
+def init_kmeans_worker_tiled(manifest, memory_budget) -> None:
+    """Map the spilled tile manifest instead of receiving matrix bytes.
+
+    The file-backed twin of :func:`init_kmeans_worker_shm`: ``manifest``
+    is a tiny picklable :class:`~repro.tiles.store.TileManifest`, and the
+    worker mmaps the parent's tile files directly — zero matrix IPC, with
+    the worker's own mapped bytes bounded by ``memory_budget`` through
+    the reader's LRU. In-process backends run this too (a second reader
+    over the same files; the page cache deduplicates), keeping one code
+    path across all backends.
+    """
+    from repro.tiles.matrix import TiledCsrMatrix
+
+    matrix = TiledCsrMatrix.from_manifest(manifest, memory_budget=memory_budget)
+    _STATE["kmeans_tiled"] = (matrix,)
+
+
+def assign_chunk_tiled(
+    task: tuple[int, int, np.ndarray, np.ndarray]
+) -> tuple[list[int], np.ndarray, np.ndarray, float]:
+    """Tile-streaming :func:`assign_chunk`: fetch the block, then assign.
+
+    The block's per-document index/value views and precomputed squared
+    norms come straight out of the mapped tiles (local indexing), and the
+    arithmetic is :func:`_assign_block` verbatim — same doubles in the
+    same order as the in-memory path, so the per-block results (and the
+    caller's fixed-order merge) are bit-identical.
+    """
+    start, stop, centroids, centroid_sq_norms = task
+    (matrix,) = _STATE["kmeans_tiled"]
+    indices, values, sq_norms = matrix.block_arrays(start, stop)
+    return _assign_block(
+        0, stop - start, centroids, centroid_sq_norms, indices, values, sq_norms
     )
 
 

@@ -406,7 +406,15 @@ class KMeansOperator:
         into fixed blocks whose partial centroid accumulators are merged
         in block order, so assignments and centroids are bit-identical
         across backends and worker counts.
+
+        A :class:`~repro.tiles.matrix.TiledCsrMatrix` dispatches to the
+        streaming path automatically — the matrix form, not the plan,
+        decides how the data is read.
         """
+        from repro.tiles.matrix import TiledCsrMatrix
+
+        if isinstance(matrix, TiledCsrMatrix):
+            return self._fit_tiled(matrix, backend)
         if backend is not None:
             return self._fit_backend(matrix, backend)
         scheduler = SimScheduler(MachineSpec(cores=1, name="functional"))
@@ -451,6 +459,194 @@ class KMeansOperator:
             return backend.map(kernels.assign_chunk, tasks, grain=1)
 
         return self._lloyd(bounds, centroids, centroid_sq_norms, run_iteration)
+
+    def _fit_tiled(
+        self, matrix, backend: ExecutionBackend | None
+    ) -> KMeansResult:
+        """Lloyd's streaming spilled tiles: peak memory O(tile + centroids).
+
+        Nothing about the arithmetic changes — the block bounds formula,
+        the per-block assignment kernel, and the fixed block-order merge
+        are exactly the in-memory path's; only the block *fetch* differs
+        (mapped tile views instead of a resident ``_Prepared``, with the
+        squared norms read from the tiles where they were precomputed at
+        write time). Workers receive the picklable tile manifest instead
+        of matrix bytes, so there is no per-fit matrix IPC at all, and
+        the shm plane is unnecessary — the tile files *are* the shared
+        plane, whatever the backend.
+        """
+        if backend is None:
+            return self._fit_tiled_inline(matrix)
+
+        centroids = self._init_centroids_tiled(matrix)
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+
+        # Same bounds as _fit_backend: they depend only on the document
+        # count, which is what keeps tiled output bit-identical.
+        n_docs = matrix.n_rows
+        grain = max(32, -(-n_docs // 64))
+        bounds = [
+            (start, min(start + grain, n_docs))
+            for start in range(0, n_docs, grain)
+        ]
+
+        backend.begin_phase(PHASE_KMEANS)
+        backend.configure(
+            kernels.init_kmeans_worker_tiled,
+            (matrix.manifest, matrix.memory_budget),
+        )
+
+        def run_iteration(centroids, centroid_sq_norms):
+            tasks = [
+                (start, stop, centroids, centroid_sq_norms)
+                for start, stop in bounds
+            ]
+            return backend.map(kernels.assign_chunk_tiled, tasks, grain=1)
+
+        return self._lloyd(bounds, centroids, centroid_sq_norms, run_iteration)
+
+    def _fit_tiled_inline(self, matrix) -> KMeansResult:
+        """Streaming Lloyd's replicating the inline untiled arithmetic.
+
+        The inline (no-backend) untiled fit runs through the simulated
+        scheduler at one core: one reducer view, so a *single* partial
+        buffer accumulated document-by-document across blocks of
+        ``grain_docs`` documents, with inertia summed per block. This
+        loop replicates that accumulation order exactly — a running
+        buffer/scalar is invariant to how the documents are fetched — so
+        streaming small tile chunks still produces output bit-identical
+        to the in-memory inline path.
+        """
+        K = self.n_clusters
+        n_docs = matrix.n_rows
+        centroids = self._init_centroids_tiled(matrix)
+        centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+        actual_grain = max(1, round(self.grain_docs / self.scale.doc_factor))
+        blocks = [
+            (start, min(start + actual_grain, n_docs))
+            for start in range(0, n_docs, actual_grain)
+        ]
+        stream = 1024
+
+        partial = np.zeros_like(centroids)
+        counts = np.zeros(K, dtype=np.int64)
+        assignments = [-1] * n_docs
+        previous = list(assignments)
+        inertia = 0.0
+        converged = False
+        n_iters = 0
+        inertia_history: list[float] = []
+        for _ in range(self.max_iters):
+            n_iters += 1
+            partial.fill(0.0)
+            counts.fill(0)
+            inertia = 0.0
+            for block_start, block_stop in blocks:
+                block_inertia = 0.0
+                for start in range(block_start, block_stop, stream):
+                    stop = min(block_stop, start + stream)
+                    doc_idx, doc_val, sq_norms = matrix.block_arrays(start, stop)
+                    for local in range(stop - start):
+                        idx = doc_idx[local]
+                        val = doc_val[local]
+                        if len(idx):
+                            dots = centroids[:, idx] @ val
+                        else:
+                            dots = np.zeros(K)
+                        distances = (
+                            sq_norms[local] - 2.0 * dots + centroid_sq_norms
+                        )
+                        best = int(np.argmin(distances))
+                        assignments[start + local] = best
+                        block_inertia += float(max(0.0, distances[best]))
+                        partial[best, idx] += val
+                        counts[best] += 1
+                inertia += block_inertia
+            inertia_history.append(inertia)
+
+            for k in range(K):
+                if counts[k] > 0:
+                    centroids[k] = partial[k] / counts[k]
+                # Empty cluster: previous centroid is kept (recycled buffer).
+            centroid_sq_norms = np.einsum("ij,ij->i", centroids, centroids)
+
+            if assignments == previous:
+                converged = True
+                break
+            previous = list(assignments)
+
+        return KMeansResult(
+            assignments=assignments,
+            centroids=centroids,
+            n_iters=n_iters,
+            inertia=inertia,
+            converged=converged,
+            inertia_history=inertia_history,
+        )
+
+    def _init_centroids_tiled(self, matrix) -> np.ndarray:
+        """:meth:`_init_centroids` reading seed rows from tiles.
+
+        ``spread`` needs exactly K rows; ``kmeans++`` streams its K
+        distance passes block-at-a-time. Seed selection and centroid
+        values replicate the in-memory arithmetic double-for-double.
+        """
+        K = self.n_clusters
+        if matrix.n_rows < K:
+            raise OperatorError(
+                f"need at least {K} documents, got {matrix.n_rows}"
+            )
+        if self.init == "spread":
+            seeds = []
+            stride = matrix.n_rows // K
+            offset = self.seed % max(1, stride)
+            for k in range(K):
+                seeds.append(min(matrix.n_rows - 1, offset + k * stride))
+        else:
+            seeds = self._kmeanspp_seeds_tiled(matrix)
+        centroids = np.zeros((K, matrix.n_cols), dtype=np.float64)
+        for k, doc in enumerate(seeds):
+            row = matrix.row(doc)
+            centroids[k, np.asarray(row.indices, dtype=np.intp)] = row.values
+        return centroids
+
+    def _kmeanspp_seeds_tiled(self, matrix) -> list[int]:
+        """:meth:`_kmeanspp_seeds` with block-streamed distance passes."""
+        rng = random.Random(self.seed)
+        n_docs = matrix.n_rows
+        seeds = [rng.randrange(n_docs)]
+        nearest = np.full(n_docs, np.inf)
+        block = 1024
+        for _ in range(1, self.n_clusters):
+            last = seeds[-1]
+            row = matrix.row(last)
+            last_dense = np.zeros(matrix.n_cols)
+            last_dense[np.asarray(row.indices, dtype=np.intp)] = row.values
+            last_sq = matrix.sq_norm(last)
+            for start in range(0, n_docs, block):
+                stop = min(n_docs, start + block)
+                doc_idx, doc_val, sq_norms = matrix.block_arrays(start, stop)
+                for local in range(stop - start):
+                    idx, val = doc_idx[local], doc_val[local]
+                    dot = float(last_dense[idx] @ val) if len(idx) else 0.0
+                    dist = max(0.0, sq_norms[local] - 2.0 * dot + last_sq)
+                    doc = start + local
+                    if dist < nearest[doc]:
+                        nearest[doc] = dist
+            total = float(nearest.sum())
+            if total <= 0.0:
+                seeds.append(rng.randrange(n_docs))
+                continue
+            target = rng.random() * total
+            cumulative = 0.0
+            chosen = n_docs - 1
+            for doc in range(n_docs):
+                cumulative += float(nearest[doc])
+                if cumulative >= target:
+                    chosen = doc
+                    break
+            seeds.append(chosen)
+        return seeds
 
     def _fit_shm(
         self,

@@ -429,6 +429,123 @@ class TfIdfOperator:
             wordcount=wc,
         )
 
+    def transform_wordcount_tiled(
+        self,
+        wc: WordCountResult,
+        store,
+        backend: ExecutionBackend | None = None,
+        grain: int | None = None,
+        tile_docs: int | None = None,
+    ) -> TfIdfResult:
+        """Phase 2a emitting spill tiles instead of one in-memory matrix.
+
+        The bounded-memory twin of :meth:`transform_wordcount`: documents
+        are transformed ``tile_docs`` at a time, each finished row range
+        is written to ``store`` (a :class:`~repro.tiles.store.TileStore`)
+        as a binary tile — per-row squared norms precomputed for the
+        k-means pass — and the rows are dropped before the next range
+        starts, so peak memory is O(tile), not O(matrix). The per-document
+        arithmetic is chunking-independent, so every row is bit-identical
+        to the monolithic path on the same backend; only the container
+        differs. The returned result's ``matrix`` is a
+        :class:`~repro.tiles.matrix.TiledCsrMatrix` view owning the store.
+
+        Unlike the monolithic path this one does not translate quarantine
+        coordinates: a poisoned document fails the phase (documented in
+        ``docs/data_plane.md``).
+        """
+        from repro.tiles.matrix import TiledCsrMatrix
+
+        # Replays (degrade mode re-runs a phase after a pool death) must
+        # not append onto a half-written tile set.
+        store.reset()
+        scratch = TaskCost()
+        vocabulary, idf, index = self.build_vocabulary(wc, scratch)
+        n_cols = len(vocabulary)
+        n_docs = len(wc.doc_tfs)
+        if tile_docs is None or tile_docs < 1:
+            tile_docs = max(1, min(n_docs, 4096))
+        shared = None
+        if backend is not None:
+            backend.begin_phase(PHASE_TRANSFORM)
+            if backend.uses_shm:
+                shared = self._share_vocabulary(backend, vocabulary, idf)
+                backend.configure(
+                    kernels.init_transform_worker_shm,
+                    (shared.descriptor(), self.min_df),
+                )
+            else:
+                backend.configure(
+                    kernels.init_transform_worker, (vocabulary, idf, self.min_df)
+                )
+        try:
+            for tile_start in range(0, n_docs, tile_docs):
+                tile_stop = min(n_docs, tile_start + tile_docs)
+                if backend is None:
+                    rows = [
+                        self.transform_document(tf, index, idf, scratch)
+                        for tf in wc.doc_tfs[tile_start:tile_stop]
+                    ]
+                else:
+                    entry_lists = [
+                        list(tf.items())
+                        for tf in wc.doc_tfs[tile_start:tile_stop]
+                    ]
+                    sub_grain = grain or auto_grain(
+                        len(entry_lists), backend.workers
+                    )
+                    chunks = [
+                        entry_lists[at : at + sub_grain]
+                        for at in range(0, len(entry_lists), sub_grain)
+                    ]
+                    rows = [
+                        row
+                        for chunk_rows in backend.map(
+                            kernels.transform_chunk, chunks, grain=1
+                        )
+                        for row in chunk_rows
+                    ]
+                self._append_tile(store, tile_start, n_cols, rows)
+                del rows
+        finally:
+            if shared is not None:
+                shared.close()
+        manifest = store.seal(n_cols)
+        return TfIdfResult(
+            matrix=TiledCsrMatrix(manifest, store=store),
+            vocabulary=vocabulary,
+            idf=idf,
+            wordcount=wc,
+        )
+
+    @staticmethod
+    def _append_tile(store, row_start: int, n_cols: int, rows) -> None:
+        """Pack one row range into tile arrays and append it to the store.
+
+        ``sq_norms`` uses the same ``float64`` cast and dot product the
+        k-means operator's in-memory ``_Prepared`` applies, so the stored
+        norms are the exact doubles the untiled fit would compute.
+        """
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        index_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        sq_norms = np.empty(len(rows), dtype=np.float64)
+        for at, row in enumerate(rows):
+            values = np.asarray(row.values, dtype=np.float64)
+            index_parts.append(np.asarray(row.indices, dtype=np.int64))
+            value_parts.append(values)
+            sq_norms[at] = float(values @ values)
+            indptr[at + 1] = indptr[at] + len(values)
+        indices = (
+            np.concatenate(index_parts)
+            if index_parts else np.empty(0, dtype=np.int64)
+        )
+        data = (
+            np.concatenate(value_parts)
+            if value_parts else np.empty(0, dtype=np.float64)
+        )
+        store.append(row_start, n_cols, indptr, indices, data, sq_norms)
+
     # -- fused execution (worker-resident intermediates) ------------------------------
 
     def fit_transform_fused(

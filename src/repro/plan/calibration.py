@@ -98,6 +98,11 @@ class CalibrationStore:
     #: execute no tasks, so observe_run never pollutes compute constants
     #: with it.
     cache_serve_ns_per_doc: float = 2000.0
+    #: Nanoseconds per byte moved through the tiled spill plane (binary
+    #: tile write + mmap read-back, measured round trip by the probe).
+    #: Prices one matrix pass of a tiled phase; the ~page-cache-speed
+    #: default keeps fixture stores usable before any probe runs.
+    tile_io_ns_per_byte: float = 0.35
     #: "probe", "observed", "fixture" — where the constants came from.
     source: str = "default"
     #: Documents that contributed to the constants so far.
@@ -302,6 +307,9 @@ class CalibrationStore:
             )
 
         store.shm_setup_s = _probe_shm_setup()
+        store.tile_io_ns_per_byte = _probe_tile_io(
+            indptr, indices, data, sq_norms, matrix.n_cols
+        )
         if measure_pool:
             store.pool_spawn_s_per_worker = _probe_pool_spawn()
         return store
@@ -371,6 +379,32 @@ def _host() -> dict:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count() or 1,
     }
+
+
+def _probe_tile_io(indptr, indices, data, sq_norms, n_cols) -> float:
+    """Round-trip the probe matrix through one real spill tile.
+
+    Measures write (atomic temp + replace) plus mmap read-back with CRC
+    verification — the exact path a tiled run takes per matrix pass —
+    and returns nanoseconds per payload byte (halved: the cost model
+    charges write and read passes separately).
+    """
+    import tempfile
+
+    from repro.tiles.format import open_tile, write_tile
+
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    with tempfile.TemporaryDirectory(prefix="repro_probe_tile_") as root:
+        path = os.path.join(root, "probe.rt")
+        t0 = time.perf_counter()
+        header = write_tile(path, 0, n_cols, indptr, indices, data, sq_norms)
+        view = open_tile(path, verify=True)
+        # Touch every page so the read is not deferred to first access.
+        float(view.data.sum()) if len(view.data) else 0.0
+        view.close()
+        elapsed = time.perf_counter() - t0
+        nbytes = max(1, header.nbytes)
+    return max(0.05, elapsed / (2 * nbytes) * 1e9)
 
 
 def _probe_shm_setup() -> float:

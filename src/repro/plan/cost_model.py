@@ -54,15 +54,23 @@ class PhasePlan:
     #: the phase serves from disk instead of computing, and the cost
     #: model prices it at deserialization speed.
     cached: bool = False
+    #: True when the phase goes through the tiled data plane: the
+    #: transform writes binary spill tiles instead of keeping the matrix
+    #: resident, and k-means streams them back every assignment pass.
+    #: Output stays bit-identical; the model adds a tile-I/O term per
+    #: matrix pass, which is why an unconstrained plan never tiles.
+    tiled: bool = False
 
     def describe(self) -> str:
         if self.cached:
-            return "cached"
+            return "cached+tiled" if self.tiled else "cached"
         backend = self.backend
         if self.backend != "sequential":
             backend = f"{self.backend}-{self.workers}"
         if self.shm:
             backend += "+shm"
+        if self.tiled:
+            backend += "+tiled"
         if self.phase == "kmeans":
             # Blocking and merge order are part of the output contract;
             # grain and dictionary kind are not knobs here.
@@ -83,6 +91,10 @@ class PhaseWorkload:
     input_bytes: int = 0
     #: Assignment passes for ``kmeans`` (constants are per doc per pass).
     iterations: int = 1
+    #: Estimated resident bytes of the score matrix — the volume a tiled
+    #: phase moves through the spill directory per pass (write once for
+    #: the transform, read once per k-means iteration).
+    matrix_bytes: int = 0
 
 
 @dataclass
@@ -122,17 +134,35 @@ class RealCostModel:
     ) -> PhaseEstimate:
         """Predicted wall seconds for running ``workload`` under ``plan``."""
         c = self.calibration
+        # Tile I/O: a tiled transform writes the matrix to spill tiles
+        # once; a tiled k-means re-reads it every assignment pass. The
+        # term is what makes an unconstrained plan prefer the resident
+        # matrix — tiling only wins when the budget forbids residency.
+        tile_passes = (
+            workload.iterations if workload.phase == "kmeans" else 1
+        )
+        tile_io_s = (
+            max(0, workload.matrix_bytes)
+            * c.tile_io_ns_per_byte * 1e-9 * tile_passes
+            if plan.tiled
+            else 0.0
+        )
         if plan.cached:
             # A cached phase deserializes its stored result instead of
             # computing: near-zero, linear in the corpus (iteration count
-            # is irrelevant — the stored clustering is served whole).
+            # is irrelevant — the stored clustering is served whole). A
+            # cached *tiled* transform additionally re-materializes its
+            # spill tiles (one write pass) while serving.
             serve_s = (
                 max(0, workload.n_docs) * c.cache_serve_ns_per_doc * 1e-9
             )
+            breakdown = {"cache_serve": serve_s}
+            if plan.tiled and workload.phase != "kmeans":
+                breakdown["tile_io"] = tile_io_s
             return PhaseEstimate(
                 plan=plan,
-                predicted_s=serve_s,
-                breakdown={"cache_serve": serve_s},
+                predicted_s=sum(breakdown.values()),
+                breakdown=breakdown,
             )
         try:
             constants = c.phases[workload.phase]
@@ -209,5 +239,7 @@ class RealCostModel:
             raise ConfigurationError(
                 f"unknown backend tier {plan.backend!r} in {plan}"
             )
+        if plan.tiled:
+            breakdown["tile_io"] = tile_io_s
         total = sum(breakdown.values())
         return PhaseEstimate(plan=plan, predicted_s=total, breakdown=breakdown)

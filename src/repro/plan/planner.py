@@ -71,11 +71,21 @@ class RealPlan:
     kmeans_candidates: list[PhaseEstimate] = field(default_factory=list)
     calibration: str = "unknown"
     n_docs: int = 0
+    #: The run's spill budget (bytes) when one was planned under;
+    #: execution sizes the :class:`~repro.tiles.store.TileStore` from it.
+    memory_budget: int | None = None
+    #: The matrix-size estimate the tiling decision was made against.
+    matrix_bytes: int = 0
 
     @property
     def fused(self) -> bool:
         transform = self.phases.get("transform")
         return bool(transform and transform.fused_with_previous)
+
+    @property
+    def tiled(self) -> bool:
+        transform = self.phases.get("transform")
+        return bool(transform and transform.tiled)
 
     @property
     def predicted_total_s(self) -> float:
@@ -99,6 +109,9 @@ class RealPlan:
                 phase: plan.describe() for phase, plan in self.phases.items()
             },
             "fused": self.fused,
+            "tiled": self.tiled,
+            "memory_budget": self.memory_budget,
+            "matrix_bytes": self.matrix_bytes,
             "predicted_total_s": self.predicted_total_s,
             "calibration": self.calibration,
             "n_docs": self.n_docs,
@@ -216,6 +229,7 @@ class AdaptivePlanner:
         kmeans_iters: int = 10,
         cached_phases: frozenset[str] = frozenset(),
         allow_fusion: bool = True,
+        memory_budget: int | None = None,
     ) -> RealPlan:
         """Pick the per-phase argmin for a corpus of ``n_docs``.
 
@@ -226,12 +240,34 @@ class AdaptivePlanner:
         ``allow_fusion=False`` drops the fused wc→transform candidates;
         a cache-enabled run sets it because fused intermediates never
         materialize parent-side, which would leave nothing to store.
+
+        ``memory_budget`` (bytes) bounds the resident score matrix. When
+        the estimated matrix exceeds it, only tiled candidates are
+        enumerated for the transform and k-means — fusion is also off,
+        because fused rows materialize parent-side before any tile could
+        absorb them. When the matrix fits, tiled *and* untiled variants
+        compete and the tile-I/O cost term makes the resident matrix
+        win: the plan only tiles when the budget demands it.
         """
         if n_docs <= 0:
             raise PlannerError("cannot plan for an empty corpus")
+        matrix_bytes = 0
+        tr_constants = self.calibration.phases.get("transform")
+        if tr_constants is not None:
+            matrix_bytes = int(n_docs * tr_constants.result_bytes_per_doc)
+        must_tile = memory_budget is not None and matrix_bytes > memory_budget
+        if memory_budget is None:
+            tiled_options: tuple[bool, ...] = (False,)
+        elif must_tile:
+            tiled_options = (True,)
+        else:
+            tiled_options = (False, True)
         wl_wc = PhaseWorkload("input+wc", n_docs, input_bytes=input_bytes)
-        wl_tr = PhaseWorkload("transform", n_docs)
-        wl_km = PhaseWorkload("kmeans", n_docs, iterations=kmeans_iters)
+        wl_tr = PhaseWorkload("transform", n_docs, matrix_bytes=matrix_bytes)
+        wl_km = PhaseWorkload(
+            "kmeans", n_docs, iterations=kmeans_iters,
+            matrix_bytes=matrix_bytes,
+        )
         wc_cached = "input+wc" in cached_phases
         tr_cached = "transform" in cached_phases
 
@@ -241,7 +277,10 @@ class AdaptivePlanner:
             wl_wc, PhasePlan("input+wc", "sequential", 1, cached=True)
         )
         cached_tr_est = self.model.predict(
-            wl_tr, PhasePlan("transform", "sequential", 1, cached=True)
+            wl_tr,
+            PhasePlan(
+                "transform", "sequential", 1, cached=True, tiled=must_tile
+            ),
         )
         if wc_cached and tr_cached:
             pairs.append(
@@ -254,17 +293,21 @@ class AdaptivePlanner:
             for tr_kind in self.dict_kinds:
                 for backend2, workers2, shm2 in configs:
                     for grain2 in self.grain_options:
-                        tr_plan = PhasePlan(
-                            "transform", backend2, workers2, shm2,
-                            grain=grain2, dict_kind=tr_kind,
-                        )
-                        pairs.append(
-                            PairEstimate(
-                                wc=cached_wc_est,
-                                transform=self.model.predict(wl_tr, tr_plan),
-                                fused=False,
+                        for tiled2 in tiled_options:
+                            tr_plan = PhasePlan(
+                                "transform", backend2, workers2, shm2,
+                                grain=grain2, dict_kind=tr_kind,
+                                tiled=tiled2,
                             )
-                        )
+                            pairs.append(
+                                PairEstimate(
+                                    wc=cached_wc_est,
+                                    transform=self.model.predict(
+                                        wl_tr, tr_plan
+                                    ),
+                                    fused=False,
+                                )
+                            )
         elif tr_cached:
             for wc_kind in self.dict_kinds:
                 for backend1, workers1, shm1 in configs:
@@ -295,22 +338,26 @@ class AdaptivePlanner:
                         # (run_pipeline rebinds backends between phases).
                         for backend2, workers2, shm2 in configs:
                             for grain2 in self.grain_options:
-                                tr_plan = PhasePlan(
-                                    "transform", backend2, workers2, shm2,
-                                    grain=grain2, dict_kind=tr_kind,
-                                )
-                                pairs.append(
-                                    PairEstimate(
-                                        wc=wc_est,
-                                        transform=self.model.predict(
-                                            wl_tr, tr_plan
-                                        ),
-                                        fused=False,
+                                for tiled2 in tiled_options:
+                                    tr_plan = PhasePlan(
+                                        "transform", backend2, workers2,
+                                        shm2, grain=grain2,
+                                        dict_kind=tr_kind, tiled=tiled2,
                                     )
-                                )
-                        # Fused: transform bound to the word count's config.
-                        if allow_fusion and self._supports_fusion(
-                            backend1, shm1
+                                    pairs.append(
+                                        PairEstimate(
+                                            wc=wc_est,
+                                            transform=self.model.predict(
+                                                wl_tr, tr_plan
+                                            ),
+                                            fused=False,
+                                        )
+                                    )
+                        # Fused: transform bound to the word count's
+                        # config. Never tiled — fused rows materialize
+                        # parent-side before a tile could absorb them.
+                        if allow_fusion and not must_tile and (
+                            self._supports_fusion(backend1, shm1)
                         ):
                             fused_plan = PhasePlan(
                                 "transform", backend1, workers1, shm1,
@@ -328,6 +375,10 @@ class AdaptivePlanner:
                             )
         pairs.sort(key=lambda pair: pair.predicted_s)
 
+        # K-means streams whatever matrix the transform produced, so its
+        # tiled flag follows the winning transform (dispatch at run time
+        # is automatic on the matrix type; the flag prices the passes).
+        km_tiled = pairs[0].transform.plan.tiled
         if "kmeans" in cached_phases:
             kmeans: list[PhaseEstimate] = [
                 self.model.predict(
@@ -337,9 +388,13 @@ class AdaptivePlanner:
         else:
             kmeans = [
                 self.model.predict(
-                    wl_km, PhasePlan("kmeans", backend, workers, shm)
+                    wl_km,
+                    PhasePlan("kmeans", backend, workers, shm, tiled=km_tiled),
                 )
                 for backend, workers, shm in configs
+                # Tiled assignment ships block tokens and reads tiles in
+                # the workers — the shm plane has nothing to carry.
+                if not (km_tiled and shm)
             ]
         kmeans.sort(key=lambda estimate: estimate.predicted_s)
 
@@ -354,4 +409,6 @@ class AdaptivePlanner:
             kmeans_candidates=kmeans,
             calibration=self.calibration.describe(),
             n_docs=n_docs,
+            memory_budget=memory_budget,
+            matrix_bytes=matrix_bytes,
         )

@@ -1,0 +1,30 @@
+"""Out-of-core tiled data plane: binary CSR tiles + mmap-backed spill.
+
+See :mod:`repro.tiles.format` for the on-disk layout,
+:mod:`repro.tiles.store` for the budgeted spill store, and
+:mod:`repro.tiles.matrix` for the ``CsrMatrix``-compatible view.
+``docs/data_plane.md`` documents the memory-budget contract.
+"""
+
+from repro.tiles.format import TileView, open_tile, read_header, write_tile
+from repro.tiles.matrix import TiledCsrMatrix
+from repro.tiles.store import (
+    SPILL_PREFIX,
+    TileManifest,
+    TileMeta,
+    TileReader,
+    TileStore,
+)
+
+__all__ = [
+    "SPILL_PREFIX",
+    "TileManifest",
+    "TileMeta",
+    "TileReader",
+    "TileStore",
+    "TiledCsrMatrix",
+    "TileView",
+    "open_tile",
+    "read_header",
+    "write_tile",
+]

@@ -1,0 +1,149 @@
+"""Result cache × tile plane: per-tile entries, damage demotion, key sharing.
+
+A tiled transform is cached as one manifest entry plus one entry per
+tile (raw tile file bytes, checksummed by the format itself). Serving
+re-hydrates the tiles into a fresh spill store one at a time — never
+materializing the matrix — and any damage anywhere in the family demotes
+the whole thing to a recompute. The one deliberate asymmetry: k-means
+results are keyed off the *untiled* transform key, because tiled and
+untiled transforms are bit-identical, so one stored clustering serves
+both execution modes.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.cache import PipelineCache
+from repro.core.pipeline import run_pipeline
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.text import MIX_PROFILE, generate_corpus
+
+BUDGET = 50_000  # bytes, well under the scale-0.002 matrix footprint
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.002, seed=11)
+
+
+def _run(docs, cache=None, budget=None):
+    return run_pipeline(
+        docs,
+        tfidf=TfIdfOperator(),
+        kmeans=KMeansOperator(max_iters=3),
+        cache=cache,
+        memory_budget=budget,
+    )
+
+
+def _fingerprint(result):
+    rows = [
+        (list(row.indices), list(row.values))
+        for row in result.tfidf.matrix.iter_rows()
+    ]
+    return (
+        rows,
+        result.tfidf.vocabulary,
+        result.tfidf.idf,
+        result.kmeans.assignments,
+        result.kmeans.centroids.tobytes(),
+        result.kmeans.inertia_history,
+    )
+
+
+def _close(result):
+    close = getattr(result.tfidf.matrix, "close", None)
+    if close is not None:
+        close()
+
+
+def _tile_entries(cache_dir):
+    return glob.glob(os.path.join(cache_dir, "objects", "trtile-shard-*.pkl"))
+
+
+class TestTiledServe:
+    def test_cold_stores_tiles_warm_serves_bit_identically(
+        self, corpus, tmp_path
+    ):
+        reference = _fingerprint(_run(corpus))
+        cache_dir = str(tmp_path / "cache")
+        cache = PipelineCache(cache_dir)
+
+        cold = _run(corpus, cache=cache, budget=BUDGET)
+        cold_fp = _fingerprint(cold)
+        n_tiles = cold.tiles["tiles"]
+        _close(cold)
+        assert cold_fp == reference
+        assert cold.cache["misses"] == 3
+        # One cache entry per spilled tile, plus the manifest.
+        assert len(_tile_entries(cache_dir)) == n_tiles
+
+        warm = _run(corpus, cache=cache, budget=BUDGET)
+        warm_fp = _fingerprint(warm)
+        _close(warm)
+        assert warm_fp == reference
+        assert warm.cache["hits"] == 3 and warm.cache["misses"] == 0
+        assert warm.cache["bytes_saved"] > 0
+
+    def test_corrupt_tile_entry_demotes_family_to_recompute(
+        self, corpus, tmp_path
+    ):
+        reference = _fingerprint(_run(corpus))
+        cache_dir = str(tmp_path / "cache")
+        cache = PipelineCache(cache_dir)
+        _close(_run(corpus, cache=cache, budget=BUDGET))
+
+        victim = sorted(_tile_entries(cache_dir))[1]
+        with open(victim, "r+b") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            handle.seek(size // 2)
+            handle.write(b"\xde\xad\xbe\xef")
+
+        recovered = _run(corpus, cache=cache, budget=BUDGET)
+        recovered_fp = _fingerprint(recovered)
+        n_tiles = recovered.tiles["tiles"]
+        _close(recovered)
+        assert recovered_fp == reference
+        # The transform recomputed (the tiled family was damaged) and
+        # re-stored a complete, servable family.
+        assert recovered.cache["misses"] >= 1
+        assert len(_tile_entries(cache_dir)) == n_tiles
+        healed = _run(corpus, cache=cache, budget=BUDGET)
+        healed_fp = _fingerprint(healed)
+        _close(healed)
+        assert healed_fp == reference
+        assert healed.cache["hits"] == 3
+
+    def test_kmeans_entry_shared_between_tiled_and_untiled(
+        self, corpus, tmp_path
+    ):
+        # An untiled cold run stores the clustering; a later *tiled* run
+        # must serve that same k-means entry (its transform key chains
+        # the untiled key on purpose — the outputs are bit-identical).
+        cache = PipelineCache(str(tmp_path / "cache"))
+        untiled = _run(corpus, cache=cache)
+        assert untiled.cache["misses"] == 3
+
+        tiled = _run(corpus, cache=cache, budget=BUDGET)
+        tiled_fp = _fingerprint(tiled)
+        _close(tiled)
+        assert tiled_fp == _fingerprint(untiled)
+        # wc and kmeans hit; only the tiled transform family is new.
+        assert tiled.cache["hits"] >= 2
+
+    def test_untiled_warm_run_unaffected_by_tiled_entries(
+        self, corpus, tmp_path
+    ):
+        cache = PipelineCache(str(tmp_path / "cache"))
+        _close(_run(corpus, cache=cache, budget=BUDGET))
+        warm_untiled = _run(corpus, cache=cache)
+        # wc + kmeans serve from the shared entries; the untiled
+        # transform is its own key and recomputes once.
+        assert warm_untiled.cache["hits"] >= 2
+        assert warm_untiled.tiles is None

@@ -1,4 +1,4 @@
-"""Repo-wide fixtures: shared-memory segments must never leak.
+"""Repo-wide fixtures: shared-memory segments and spill dirs must never leak.
 
 Every segment the shm plane creates is named ``repro_shm_*`` (see
 :data:`repro.exec.shm.SEGMENT_PREFIX`), so on platforms with a visible
@@ -8,15 +8,23 @@ fails any test that leaves a segment behind — close, double-close and
 worker-crash paths all have to clean up to stay green. (On hosts
 without ``/dev/shm`` the check degrades to a no-op; the promoted
 resource_tracker warnings in ``pyproject.toml`` still cover leaks.)
+
+The tile plane gets the same treatment: every spill directory is named
+``$TMPDIR/repro_tiles_*`` (:data:`repro.tiles.SPILL_PREFIX`), so a
+:class:`~repro.tiles.TileStore` that outlives its test — an unclosed
+tiled matrix, a worker-side reader, an exception path that skipped
+``close()`` — shows up as a leftover directory and fails that test.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 
 from repro.exec.shm import SEGMENT_PREFIX
+from repro.tiles import SPILL_PREFIX
 
 _SHM_DIR = "/dev/shm"
 
@@ -27,6 +35,15 @@ def _segments() -> set[str]:
     except OSError:
         return set()
     return {name for name in names if name.startswith(SEGMENT_PREFIX)}
+
+
+def _spill_dirs() -> set[str]:
+    root = tempfile.gettempdir()
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return set()
+    return {name for name in names if name.startswith(SPILL_PREFIX)}
 
 
 @pytest.fixture(autouse=True)
@@ -40,4 +57,16 @@ def no_shm_segment_leaks():
     assert not leaked, (
         f"test leaked shared-memory segment(s): {sorted(leaked)} — every "
         f"ShmArrays/ShmBroadcast must be unlinked via close()"
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_tile_spill_leaks():
+    before = _spill_dirs()
+    yield
+    leaked = _spill_dirs() - before
+    assert not leaked, (
+        f"test leaked tile spill director{'y' if len(leaked) == 1 else 'ies'}: "
+        f"{sorted(leaked)} — every TileStore (or the TiledCsrMatrix that "
+        f"owns it) must be closed"
     )

@@ -1,0 +1,113 @@
+"""run_pipeline under a memory budget: fixed and planned data planes.
+
+The fixed path tiles unconditionally when a budget is given (the caller
+asked for bounded memory; honoring it beats second-guessing). The
+planned path hands the budget to the adaptive planner, which tiles only
+when the predicted matrix footprint exceeds it. Both must report the
+spill accounting on the result and keep outputs bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.ops.kmeans import KMeansOperator
+from repro.ops.tfidf import TfIdfOperator
+from repro.plan import CalibrationStore
+from repro.text import MIX_PROFILE, generate_corpus
+from repro.tiles.matrix import TiledCsrMatrix
+
+BUDGET = 50_000
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.002, seed=7)
+
+
+@pytest.fixture(scope="module")
+def calibration(corpus):
+    return CalibrationStore.probe(corpus)
+
+
+def _run(docs, **kw):
+    return run_pipeline(
+        docs, tfidf=TfIdfOperator(), kmeans=KMeansOperator(max_iters=3), **kw
+    )
+
+
+def _fingerprint(result):
+    return (
+        [(list(r.indices), list(r.values))
+         for r in result.tfidf.matrix.iter_rows()],
+        result.kmeans.assignments,
+        result.kmeans.centroids.tobytes(),
+    )
+
+
+class TestFixedPath:
+    def test_budget_yields_tiled_matrix_and_accounting(self, corpus):
+        result = _run(corpus, memory_budget=BUDGET)
+        try:
+            assert isinstance(result.tfidf.matrix, TiledCsrMatrix)
+            stats = result.tiles
+            assert stats is not None
+            assert stats["tiles"] > 1
+            assert stats["memory_budget"] == BUDGET
+            assert 0 < stats["peak_pinned_bytes"] <= BUDGET
+            assert stats["tile_bytes"] > BUDGET  # genuinely out of core
+        finally:
+            result.tfidf.matrix.close()
+
+    def test_tiny_budget_still_completes_within_budget(self, corpus):
+        # A budget smaller than any single tile is pathological but must
+        # not deadlock: the reader always keeps the tile it is serving,
+        # so peak pinned degrades to "one tile at a time" — never the
+        # whole matrix.
+        result = _run(corpus, memory_budget=2_000)
+        try:
+            stats = result.tiles
+            assert stats["tiles"] >= len(corpus) // 2
+            assert stats["peak_pinned_bytes"] < stats["tile_bytes"]
+            assert stats["evictions"] > 0
+        finally:
+            result.tfidf.matrix.close()
+
+    def test_close_removes_spill_dir(self, corpus, tmp_path):
+        import os
+
+        result = _run(corpus, memory_budget=BUDGET)
+        spill_dir = result.tiles["spill_dir"]
+        assert os.path.isdir(spill_dir)
+        result.tfidf.matrix.close()
+        assert not os.path.exists(spill_dir)
+
+
+class TestPlannedPath:
+    def test_budget_below_matrix_produces_tiled_plan(
+        self, corpus, calibration
+    ):
+        untiled = _run(corpus, plan="auto", calibration=calibration)
+        assert untiled.plan.tiled is False
+
+        planned = _run(
+            corpus, plan="auto", calibration=calibration, memory_budget=BUDGET
+        )
+        try:
+            assert planned.plan.tiled is True
+            assert planned.plan.memory_budget == BUDGET
+            assert "+tiled" in planned.plan.phases["transform"].describe()
+            assert planned.tiles is not None
+            assert planned.tiles["peak_pinned_bytes"] <= BUDGET
+            assert _fingerprint(planned) == _fingerprint(untiled)
+        finally:
+            planned.tfidf.matrix.close()
+
+    def test_ample_budget_plans_untiled(self, corpus, calibration):
+        result = _run(
+            corpus, plan="auto", calibration=calibration,
+            memory_budget=500_000_000,
+        )
+        assert result.plan.tiled is False
+        assert result.tiles is None

@@ -321,6 +321,88 @@ class TestPlannedEquivalence:
         assert fused.plan.fused
 
 
+class TestTiledEquivalence:
+    """Out-of-core tiling changes the data plane only, never output bits.
+
+    A ``memory_budget`` spills the TF/IDF matrix to disk tiles and
+    streams k-means chunk-at-a-time — on every backend, under budgets
+    well below the matrix footprint, the scores, assignments, centroids
+    (compared raw) and inertia trajectory must equal the untiled run's
+    exactly.
+    """
+
+    BUDGET = 50_000  # bytes; far below the scale-0.002 matrix footprint
+
+    def _fingerprint(self, result):
+        return (
+            _matrix_entries(result.tfidf),
+            result.tfidf.vocabulary,
+            result.tfidf.idf,
+            result.kmeans.assignments,
+            result.kmeans.centroids.tobytes(),
+            result.kmeans.inertia_history,
+        )
+
+    def _run(self, corpus, backend_name=None, workers=2, budget=None):
+        backend = (
+            make_backend(backend_name, workers)
+            if backend_name is not None
+            else None
+        )
+        try:
+            return run_pipeline(
+                corpus,
+                backend=backend,
+                tfidf=TfIdfOperator(),
+                kmeans=KMeansOperator(max_iters=3),
+                memory_budget=budget,
+            )
+        finally:
+            if backend is not None:
+                backend.close()
+
+    def test_tiled_inline_identical_to_untiled(self, corpus):
+        reference = self._run(corpus)
+        tiled = self._run(corpus, budget=self.BUDGET)
+        try:
+            assert self._fingerprint(tiled) == self._fingerprint(reference)
+            stats = tiled.tiles
+            assert stats is not None
+            assert stats["tiles"] > 1
+            assert stats["peak_pinned_bytes"] <= self.BUDGET
+        finally:
+            tiled.tfidf.matrix.close()
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_tiled_identical_on_every_backend(self, corpus, backend_name):
+        reference = self._run(corpus, "sequential")
+        tiled = self._run(corpus, backend_name, budget=self.BUDGET)
+        try:
+            assert self._fingerprint(tiled) == self._fingerprint(reference), (
+                f"tiled output diverged from untiled on {backend_name}"
+            )
+        finally:
+            tiled.tfidf.matrix.close()
+
+    def test_kmeans_plus_plus_tiled_identical(self, corpus):
+        def run(budget):
+            result = run_pipeline(
+                corpus,
+                tfidf=TfIdfOperator(),
+                kmeans=KMeansOperator(max_iters=3, init="kmeans++", seed=11),
+                memory_budget=budget,
+            )
+            fp = self._fingerprint(result)
+            if budget is not None:
+                result.tfidf.matrix.close()
+            return fp
+
+        assert run(self.BUDGET) == run(None)
+
+    def test_untiled_run_reports_no_tiles(self, corpus):
+        assert self._run(corpus).tiles is None
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="speedup measurement needs a multi-core host",

@@ -41,6 +41,20 @@ def _record(mode="backends", **overrides):
             {"scenario": "warm", "total_s": 0.05, "ok": True,
              "cache": dict(snapshot)},
         ]
+    if mode == "oocore":
+        record["schema"] = 2
+        record["peak_rss_kb"] = 200_000
+        record["oocore_summary"] = {
+            "matrix_bytes": 1_000_000, "all_identical": True,
+            "all_under_budget": True,
+        }
+        record["runs"] = [
+            {"label": "untiled", "memory_budget": None, "total_s": 0.5,
+             "peak_rss_kb": 200_000, "ok": True},
+            {"label": "budget-0.25x", "memory_budget": 250_000,
+             "total_s": 0.6, "peak_rss_kb": 150_000, "ok": True,
+             "tiles": {"tiles": 8, "peak_pinned_bytes": 240_000}},
+        ]
     record.update(overrides)
     return record
 
@@ -126,6 +140,56 @@ class TestValidate:
         del record["runs"][1]["cache"]["seconds_saved"]
         problems = validate_bench.validate([record])
         assert any("seconds_saved" in p for p in problems)
+
+    def test_oocore_record_round_trips(self):
+        assert validate_bench.validate([_record(mode="oocore")]) == []
+
+    def test_oocore_record_needs_summary(self):
+        record = _record(mode="oocore")
+        del record["oocore_summary"]
+        problems = validate_bench.validate([record])
+        assert any("oocore_summary" in p for p in problems)
+
+    def test_oocore_run_needs_rss(self):
+        record = _record(mode="oocore")
+        del record["runs"][1]["peak_rss_kb"]
+        problems = validate_bench.validate([record])
+        assert any("peak_rss_kb" in p for p in problems)
+
+    def test_oocore_budgeted_run_needs_tiles_snapshot(self):
+        record = _record(mode="oocore")
+        del record["runs"][1]["tiles"]
+        problems = validate_bench.validate([record])
+        assert any("tiles" in p for p in problems)
+
+    def test_oocore_pinned_over_budget_fails(self):
+        record = _record(mode="oocore")
+        record["runs"][1]["tiles"]["peak_pinned_bytes"] = 250_001
+        problems = validate_bench.validate([record])
+        assert any("peak_pinned_bytes" in p for p in problems)
+
+    def test_oocore_needs_a_run_under_the_matrix_footprint(self):
+        # Every budget comfortably above matrix_bytes proves nothing —
+        # the out-of-core case is the point of the mode.
+        record = _record(mode="oocore")
+        record["runs"][1]["memory_budget"] = 2_000_000
+        problems = validate_bench.validate([record])
+        assert any("memory_budget < " in p for p in problems)
+
+    def test_schema2_record_needs_rss(self):
+        record = _record(schema=2)
+        problems = validate_bench.validate([record])
+        assert any("peak_rss_kb" in p for p in problems)
+        assert validate_bench.validate([_record(schema=2, peak_rss_kb=1)]) == []
+
+    def test_historical_record_without_schema_is_grandfathered(self):
+        record = _record()
+        assert "schema" not in record and "peak_rss_kb" not in record
+        assert validate_bench.validate([record]) == []
+
+    def test_bad_schema_value_is_rejected(self):
+        problems = validate_bench.validate([_record(schema="two")])
+        assert any("schema" in p for p in problems)
 
     def test_uncached_reference_run_needs_no_snapshot(self):
         # The uncached baseline never touches the cache; demanding a

@@ -1,0 +1,217 @@
+"""Binary tile format: byte-exact round trips and loud corruption failures.
+
+A tile is the spill plane's unit of trust — everything above it (the
+store, the reader, the cache's adopt path) assumes that ``open_tile``
+either returns exactly the arrays ``write_tile`` was given or raises
+:class:`~repro.errors.TileError`. These tests attack that boundary:
+truncation, bit flips in the payload, header field damage, and version
+skew must all be detected, never silently served.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.tiles.format import (
+    HEADER,
+    TILE_MAGIC,
+    open_tile,
+    read_header,
+    tile_nbytes,
+    write_tile,
+)
+
+
+def _sample_arrays(n_rows=5, n_cols=32, seed=3):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 6, size=n_rows)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    nnz = int(indptr[-1])
+    indices = rng.integers(0, n_cols, size=nnz).astype(np.int64)
+    data = rng.random(nnz).astype(np.float64)
+    sq_norms = np.empty(n_rows, dtype=np.float64)
+    for i in range(n_rows):
+        values = data[indptr[i]:indptr[i + 1]]
+        sq_norms[i] = float(values @ values)
+    return indptr, indices, data, sq_norms
+
+
+def _write_sample(path, row_start=0, n_cols=32, **kwargs):
+    indptr, indices, data, sq_norms = _sample_arrays(n_cols=n_cols, **kwargs)
+    header = write_tile(path, row_start, n_cols, indptr, indices, data, sq_norms)
+    return header, (indptr, indices, data, sq_norms)
+
+
+class TestRoundTrip:
+    def test_arrays_round_trip_byte_exact(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        header, (indptr, indices, data, sq_norms) = _write_sample(
+            path, row_start=7
+        )
+        view = open_tile(path, verify=True)
+        try:
+            assert view.header.row_start == 7
+            assert view.header.n_rows == len(indptr) - 1
+            assert view.header.n_cols == 32
+            assert view.header.nnz == len(indices)
+            assert view.indptr.tobytes() == indptr.tobytes()
+            assert view.indices.tobytes() == indices.tobytes()
+            assert view.data.tobytes() == data.tobytes()
+            assert view.sq_norms.tobytes() == sq_norms.tobytes()
+        finally:
+            view.close()
+
+    def test_file_size_matches_tile_nbytes(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        header, _ = _write_sample(path)
+        assert os.path.getsize(path) == tile_nbytes(header.n_rows, header.nnz)
+        assert header.nbytes == os.path.getsize(path)
+
+    def test_empty_rows_and_zero_nnz(self, tmp_path):
+        # A tile of rows that are all empty still round-trips: nnz == 0,
+        # every array present, sq_norms all zero.
+        path = str(tmp_path / "empty.rt")
+        n_rows = 3
+        write_tile(
+            path, 0, 10,
+            np.zeros(n_rows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.zeros(n_rows, dtype=np.float64),
+        )
+        view = open_tile(path, verify=True)
+        try:
+            assert view.header.nnz == 0
+            assert view.header.n_rows == n_rows
+            assert list(view.indptr) == [0, 0, 0, 0]
+            assert len(view.indices) == 0
+            assert list(view.sq_norms) == [0.0, 0.0, 0.0]
+        finally:
+            view.close()
+
+    def test_read_header_alone(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        written, _ = _write_sample(path, row_start=4)
+        header = read_header(path)
+        assert (header.row_start, header.n_rows, header.nnz, header.checksum) \
+            == (written.row_start, written.n_rows, written.nnz, written.checksum)
+
+    def test_views_are_zero_copy_mmap(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        _write_sample(path)
+        view = open_tile(path)
+        try:
+            assert not view.data.flags.writeable
+            assert not view.indices.flags.owndata
+        finally:
+            view.close()
+
+
+class TestWriteValidation:
+    def test_rejects_non_local_indptr(self, tmp_path):
+        with pytest.raises(TileError, match="tile-local"):
+            write_tile(
+                str(tmp_path / "bad.rt"), 0, 4,
+                np.array([3, 5], dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(2, dtype=np.float64),
+                np.zeros(1, dtype=np.float64),
+            )
+
+    def test_rejects_inconsistent_lengths(self, tmp_path):
+        with pytest.raises(TileError, match="inconsistent"):
+            write_tile(
+                str(tmp_path / "bad.rt"), 0, 4,
+                np.array([0, 2], dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.float64),  # != nnz
+                np.zeros(1, dtype=np.float64),
+            )
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        try:
+            write_tile(
+                str(tmp_path / "bad.rt"), 0, 4,
+                np.array([1, 2], dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(2, dtype=np.float64),
+                np.zeros(1, dtype=np.float64),
+            )
+        except TileError:
+            pass
+        assert os.listdir(tmp_path) == []
+
+
+class TestCorruptionDetection:
+    def test_payload_bit_flip_fails_verify(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        header, _ = _write_sample(path)
+        with open(path, "r+b") as handle:
+            handle.seek(header.nbytes - 3)
+            byte = handle.read(1)
+            handle.seek(header.nbytes - 3)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(TileError, match="checksum mismatch"):
+            open_tile(path, verify=True)
+        # Unverified opens still map (the fast path trusts the manifest).
+        view = open_tile(path, verify=False)
+        view.close()
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        header, _ = _write_sample(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(header.nbytes - 8)
+        with pytest.raises(TileError, match="size"):
+            open_tile(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        with open(path, "wb") as handle:
+            handle.write(b"RTIL\x01")
+        with pytest.raises(TileError, match="truncated"):
+            read_header(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        _write_sample(path)
+        with open(path, "r+b") as handle:
+            handle.write(b"NOPE")
+        with pytest.raises(TileError, match="magic"):
+            open_tile(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        _write_sample(path)
+        with open(path, "r+b") as handle:
+            handle.seek(len(TILE_MAGIC))
+            handle.write(struct.pack("<H", 99))
+        with pytest.raises(TileError, match="version"):
+            open_tile(path)
+
+    def test_negative_shape_rejected(self, tmp_path):
+        path = str(tmp_path / "t.rt")
+        _write_sample(path)
+        # row_start is the first i64 after magic+version+codes.
+        offset = len(TILE_MAGIC) + 2 + 4
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(struct.pack("<q", -1))
+        with pytest.raises(TileError, match="negative"):
+            read_header(path)
+
+    def test_missing_file_raises_tile_error(self, tmp_path):
+        with pytest.raises(TileError, match="cannot"):
+            open_tile(str(tmp_path / "absent.rt"))
+        with pytest.raises(TileError, match="cannot"):
+            read_header(str(tmp_path / "absent.rt"))
+
+    def test_header_size_is_stable(self):
+        # The 48-byte header is an on-disk contract; changing it requires
+        # a TILE_VERSION bump, not a silent relayout.
+        assert HEADER.size == 48

@@ -29,6 +29,12 @@ trajectory:
   three phases bit-identically with zero recompute and the incremental
   run (tail-edited + appended corpus) matches an uncached run on the
   modified corpus while reusing unchanged word-count shards.
+* ``--mode oocore`` measures the out-of-core tiled data plane: fresh
+  child processes run the pipeline untiled, then under memory budgets
+  derived from the measured matrix footprint (including budgets smaller
+  than the matrix). Exits nonzero unless every budgeted run is
+  bit-identical to the untiled reference and keeps the spill plane's
+  peak pinned bytes under its budget; each run records its own peak RSS.
 
 Usage::
 
@@ -58,11 +64,13 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.bench.wallclock import (  # noqa: E402
+    DEFAULT_OOCORE_FRACTIONS,
     DEFAULT_READ_WORKER_SWEEP,
     DEFAULT_WORKER_SWEEP,
     bench_cache,
     bench_fault_recovery,
     bench_ipc_sweep,
+    bench_oocore,
     bench_plan,
     bench_read_sweep,
     bench_wallclock,
@@ -92,14 +100,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
                         choices=["backends", "read", "ipc", "faults", "plan",
-                                 "cache"],
+                                 "cache", "oocore"],
                         default="backends",
                         help="sweep compute backends, read-worker counts "
                         "over an on-disk corpus (paper §3.2), the "
                         "shared-memory plane on/off with IPC accounting, "
                         "fault-injection recovery scenarios, the adaptive "
-                        "planner vs fixed configurations, or the "
-                        "cold/warm/incremental result-cache triple")
+                        "planner vs fixed configurations, the "
+                        "cold/warm/incremental result-cache triple, or "
+                        "out-of-core tiled execution under memory budgets")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -129,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="retry budget per task for --mode faults")
     parser.add_argument("--fault-workers", type=int, default=2,
                         help="process workers for --mode faults")
+    parser.add_argument("--budget-fractions", nargs="+", type=float,
+                        default=list(DEFAULT_OOCORE_FRACTIONS),
+                        help="memory budgets for --mode oocore, as "
+                        "fractions of the measured matrix footprint "
+                        "(must include a fraction < 1)")
     parser.add_argument("--calibration", default=None, metavar="PATH",
                         help="calibration store for --mode plan (JSON; "
                         "probed from the corpus and persisted when the "
@@ -153,7 +167,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.compute_workers is None:
             args.compute_workers = 2
 
-    if args.mode == "cache":
+    if args.mode == "oocore":
+        record = bench_oocore(
+            profile=args.profile,
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+            budget_fractions=args.budget_fractions,
+        )
+    elif args.mode == "cache":
         record = bench_cache(
             profile=args.profile,
             scale=args.scale,
@@ -218,7 +241,27 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "cache":
+    if args.mode == "oocore":
+        summary = record["oocore_summary"]
+        print(f"matrix footprint: {summary['matrix_bytes']:,} bytes")
+        header = (f"{'config':>14} {'budget_B':>10} {'total_s':>9} "
+                  f"{'rss_MB':>8} {'pinned_peak_B':>13} {'tiles':>6} "
+                  f"{'evict':>6} identical")
+        print(header)
+        for run in record["runs"]:
+            tiles = run.get("tiles") or {}
+            budget = run["memory_budget"]
+            print(f"{run['label']:>14} "
+                  f"{(f'{budget:,}' if budget else '-'):>10} "
+                  f"{run['total_s']:>9.3f} "
+                  f"{run['peak_rss_kb'] / 1024:>8.1f} "
+                  f"{tiles.get('peak_pinned_bytes', 0):>13,} "
+                  f"{tiles.get('tiles', 0):>6} "
+                  f"{tiles.get('evictions', 0):>6} "
+                  f"{'yes' if run['output_identical'] else 'NO'}")
+        print(f"all identical: {summary['all_identical']}, "
+              f"all under budget: {summary['all_under_budget']}")
+    elif args.mode == "cache":
         header = (f"{'scenario':>12} {'total_s':>9} {'hits':>5} "
                   f"{'misses':>7} {'shard_hits':>10} {'MB_served':>10} ok")
         print(header)

@@ -7,9 +7,14 @@ across PRs:
 * top level is a list of records (a legacy single record is accepted and
   reported, but new files should be lists);
 * every record has ``benchmark == "wallclock"``, a known ``mode``
-  (``backends``/``read``/``ipc``/``faults``/``plan``/``cache``), and the
-  shared envelope keys: ``profile``, ``scale``, ``n_docs``, ``repeats``,
-  ``kmeans_iters``, ``host``, ``config``, ``runs``;
+  (``backends``/``read``/``ipc``/``faults``/``plan``/``cache``/
+  ``oocore``), and the shared envelope keys: ``profile``, ``scale``,
+  ``n_docs``, ``repeats``, ``kmeans_iters``, ``host``, ``config``,
+  ``runs``;
+* schema-2 records (``"schema": 2``, everything the bench appends now)
+  must also carry a numeric top-level ``peak_rss_kb`` — the memory
+  envelope next to the wall time. Historical records without a
+  ``schema`` key are grandfathered and not required to have it;
 * ``host`` carries ``platform``/``python``/``cpu_count``; ``config`` is
   an object (the mode's backend-side knobs); ``runs`` is a non-empty
   list of objects, each with a numeric ``total_s``;
@@ -20,6 +25,11 @@ across PRs:
 * ``cache`` records additionally carry ``cache_summary``, and every
   cached scenario's run embeds its ``cache`` accounting snapshot
   (``hits``/``misses``/``bytes_saved``/``seconds_saved``);
+* ``oocore`` records additionally carry ``oocore_summary`` (with
+  ``matrix_bytes``), at least one run whose ``memory_budget`` is smaller
+  than the matrix footprint, and every budgeted run's ``tiles`` snapshot
+  must show ``peak_pinned_bytes <= memory_budget`` — the bounded-memory
+  witness is validated, not just recorded;
 * a truncated, empty, or otherwise unparseable file fails loudly with a
   diagnostic naming the path — it is the append-forever performance
   trajectory, so silent acceptance of a half-written file would poison
@@ -38,7 +48,7 @@ import argparse
 import json
 import sys
 
-_MODES = {"backends", "read", "ipc", "faults", "plan", "cache"}
+_MODES = {"backends", "read", "ipc", "faults", "plan", "cache", "oocore"}
 
 #: Accounting counters every cached scenario's snapshot must carry.
 _CACHE_RUN_KEYS = ("hits", "misses", "bytes_saved", "seconds_saved")
@@ -71,6 +81,20 @@ def _validate_record(record: object, label: str) -> list[str]:
             f"{label}: unknown mode {record['mode']!r} "
             f"(expected one of {sorted(_MODES)})"
         )
+
+    # schema 2 added the required top-level peak_rss_kb; records predating
+    # the schema key are historical and tolerated without it.
+    schema = record.get("schema")
+    if schema is not None:
+        if not isinstance(schema, int) or schema < 2:
+            problems.append(
+                f"{label}: schema must be an integer >= 2 when present, "
+                f"got {schema!r}"
+            )
+        elif not isinstance(record.get("peak_rss_kb"), (int, float)):
+            problems.append(
+                f"{label}: schema-{schema} record lacks numeric 'peak_rss_kb'"
+            )
 
     host = record["host"]
     if not isinstance(host, dict):
@@ -136,6 +160,56 @@ def _validate_record(record: object, label: str) -> list[str]:
                         f"{label}: cache run {index} snapshot lacks "
                         f"numeric {key!r}"
                     )
+
+    if record["mode"] == "oocore":
+        summary = record.get("oocore_summary")
+        if not isinstance(summary, dict) or not isinstance(
+            summary.get("matrix_bytes"), int
+        ):
+            problems.append(
+                f"{label}: oocore record lacks oocore_summary.matrix_bytes"
+            )
+            matrix_bytes = None
+        else:
+            matrix_bytes = summary["matrix_bytes"]
+        under_matrix = 0
+        for index, run in enumerate(runs):
+            if not isinstance(run, dict):
+                continue
+            if not isinstance(run.get("peak_rss_kb"), (int, float)):
+                problems.append(
+                    f"{label}: oocore run {index} lacks numeric 'peak_rss_kb'"
+                )
+            budget = run.get("memory_budget")
+            if budget is None:
+                continue  # the untiled reference
+            if not isinstance(budget, int):
+                problems.append(
+                    f"{label}: oocore run {index} memory_budget must be an "
+                    f"integer or null"
+                )
+                continue
+            if matrix_bytes is not None and budget < matrix_bytes:
+                under_matrix += 1
+            tiles = run.get("tiles")
+            if not isinstance(tiles, dict) or not isinstance(
+                tiles.get("peak_pinned_bytes"), int
+            ):
+                problems.append(
+                    f"{label}: oocore run {index} lacks its 'tiles' snapshot "
+                    f"with integer 'peak_pinned_bytes'"
+                )
+            elif tiles["peak_pinned_bytes"] > budget:
+                problems.append(
+                    f"{label}: oocore run {index} peak_pinned_bytes "
+                    f"{tiles['peak_pinned_bytes']} exceeds its memory_budget "
+                    f"{budget}"
+                )
+        if matrix_bytes is not None and under_matrix == 0:
+            problems.append(
+                f"{label}: oocore record has no run with memory_budget < "
+                f"matrix_bytes — the out-of-core case is the point"
+            )
     return problems
 
 
