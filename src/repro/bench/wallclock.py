@@ -228,20 +228,28 @@ def _envelope(
     return record
 
 
-def _trace_fields(result: RealRunResult) -> dict:
-    """Per-phase utilization/straggler summary for a benchmark record."""
-    if result.trace is None:
-        return {}
-    summary = result.trace.summary_dict()
-    return {
-        "trace": summary,
-        "utilization": {
+def _run_fields(result: RealRunResult) -> dict:
+    """Shared measurement fields for one benchmark run entry.
+
+    Built on :meth:`~repro.core.pipeline.RealRunResult.to_record` — the
+    same serializer behind the CLI summary and the run ledger — so a
+    phase timing, IPC counter or utilization figure means the same thing
+    in every artifact. Bench entries keep the flattened
+    ``utilization`` / ``straggler_ratio`` maps that the trajectory
+    plots read.
+    """
+    record = result.to_record()
+    fields: dict = {"phases": record["phases"], "ipc": record["ipc"]}
+    summary = record["trace"]
+    if summary is not None:
+        fields["trace"] = summary
+        fields["utilization"] = {
             phase: stats["utilization"] for phase, stats in summary.items()
-        },
-        "straggler_ratio": {
+        }
+        fields["straggler_ratio"] = {
             phase: stats["straggler_ratio"] for phase, stats in summary.items()
-        },
-    }
+        }
+    return fields
 
 
 def bench_wallclock(
@@ -253,6 +261,7 @@ def bench_wallclock(
     seed: int = 0,
     kmeans_iters: int = 5,
     trace: bool = False,
+    ledger: str | None = None,
 ) -> dict:
     """Sweep backends × workers; return the benchmark record.
 
@@ -264,6 +273,9 @@ def bench_wallclock(
     the per-phase utilization/straggler summary in each record (the
     timings then include the small tracing overhead — keep it off when
     the point is the cleanest possible wall clock).
+    ``ledger`` appends every repeat of every configuration to a run
+    ledger directory (``docs/ledger.md``), seeding ``repro analytics``
+    with a dense duration history in one sweep.
     """
     if profile not in _PROFILES:
         raise ValueError(f"unknown profile {profile!r}")
@@ -286,6 +298,7 @@ def bench_wallclock(
                         tfidf=TfIdfOperator(),
                         kmeans=KMeansOperator(max_iters=kmeans_iters),
                         trace=trace,
+                        ledger=ledger,
                     )
                 finally:
                     backend.close()
@@ -297,7 +310,6 @@ def bench_wallclock(
                 {
                     "backend": backend_name,
                     "workers": n_workers,
-                    "phases": phases,
                     "total_s": total,
                     "speedup_vs_sequential": (
                         reference_total / total if reference_total else 1.0
@@ -305,8 +317,7 @@ def bench_wallclock(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
-                    "ipc": result.ipc,
-                    **_trace_fields(result),
+                    **_run_fields(result),
                 }
             )
 
@@ -387,7 +398,6 @@ def bench_read_sweep(
             runs.append(
                 {
                     "read_workers": n_read,
-                    "phases": phases,
                     "total_s": total,
                     "read_s": phases.get("read", 0.0),
                     "speedup_vs_serial_input": (
@@ -396,7 +406,7 @@ def bench_read_sweep(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
-                    "ipc": result.ipc,
+                    **_run_fields(result),
                 }
             )
     finally:
@@ -472,9 +482,7 @@ def bench_ipc_sweep(
                 {
                     "shm": use_shm,
                     "workers": n_workers,
-                    "phases": phases,
                     "total_s": total,
-                    "ipc": result.ipc,
                     "kmeans_task_bytes_per_iter": (
                         kmeans_ipc.get("task_pickle_bytes", 0)
                         / max(1, result.kmeans.n_iters)
@@ -482,7 +490,7 @@ def bench_ipc_sweep(
                     "output_identical": (
                         result is reference or _matrices_equal(result, reference)
                     ),
-                    **_trace_fields(result),
+                    **_run_fields(result),
                 }
             )
 
@@ -626,7 +634,6 @@ def bench_fault_recovery(
             {
                 "scenario": name,
                 "workers": workers,
-                "phases": phases,
                 "total_s": total,
                 "overhead_vs_baseline": (
                     total / reference_total if reference_total else 1.0
@@ -642,7 +649,7 @@ def bench_fault_recovery(
                 "quarantined_docs": sorted(dropped),
                 "output_identical": identical,
                 "ok": ok,
-                "ipc": result.ipc,
+                **_run_fields(result),
             }
         )
 
@@ -756,10 +763,9 @@ def bench_plan(
                 "config": label,
                 "planned": False,
                 "total_s": total,
-                "phases": phases,
                 "output_identical": identical,
                 "ok": identical,
-                "ipc": result.ipc,
+                **_run_fields(result),
             }
         )
 
@@ -785,10 +791,9 @@ def bench_plan(
             "plan": planned.plan.summary_dict(),
             "plan_seconds": planned.plan_seconds,
             "total_s": planned_total,
-            "phases": planned_phases,
             "output_identical": identical,
             "ok": identical and within,
-            "ipc": planned.ipc,
+            **_run_fields(planned),
         }
     )
     planned_vs_fixed = {
@@ -850,10 +855,9 @@ def bench_plan(
                 "config": "processes-1+shm (unfused)",
                 "planned": False,
                 "total_s": unfused_total,
-                "phases": dict(unfused.phase_seconds),
                 "output_identical": unfused_identical,
                 "ok": unfused_identical,
-                "ipc": unfused.ipc,
+                **_run_fields(unfused),
             }
         )
         runs.append(
@@ -861,10 +865,9 @@ def bench_plan(
                 "config": "processes-1+shm (fused)",
                 "planned": True,
                 "total_s": fused_total,
-                "phases": dict(fused.phase_seconds),
                 "output_identical": fused_identical,
                 "ok": fused_identical and fused_bytes < unfused_bytes,
-                "ipc": fused.ipc,
+                **_run_fields(fused),
             }
         )
 

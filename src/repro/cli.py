@@ -257,8 +257,74 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identically (see docs/data_plane.md); under --plan auto the "
         "planner tiles only when the matrix exceeds the budget",
     )
+    pipe.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="append one wall-anchored record per workflow step to the "
+        "persistent run ledger in DIR; aggregate the history with "
+        "'repro analytics' (see docs/ledger.md)",
+    )
     _add_backend_args(pipe)
     _add_read_args(pipe)
+
+    analytics = sub.add_parser(
+        "analytics",
+        help="aggregate the run ledger: Workflow-DNA heatmap, per-step "
+        "history, regression flags, exports, calibration replay",
+    )
+    asub = analytics.add_subparsers(dest="action", required=True)
+
+    def _ledger_arg(p):
+        p.add_argument("--ledger", required=True, metavar="DIR",
+                       help="ledger directory written by pipeline --ledger")
+
+    aheat = asub.add_parser(
+        "heatmap", help="per-step p50/p95, failure rate, bytes, cache hits"
+    )
+    _ledger_arg(aheat)
+    aheat.add_argument("--json", action="store_true",
+                       help="emit JSON instead of the terminal table")
+
+    asteps = asub.add_parser("steps", help="per-run history of each step")
+    _ledger_arg(asteps)
+    asteps.add_argument("--step", default=None,
+                        help="restrict to one step (default: all)")
+    asteps.add_argument("--json", action="store_true")
+
+    aregr = asub.add_parser(
+        "regressions",
+        help="flag steps whose latest duration left their trailing "
+        "baseline (exit 1 when any step regressed)",
+    )
+    _ledger_arg(aregr)
+    aregr.add_argument("--tolerance", type=float, default=None, metavar="FRAC",
+                       help="relative headroom over the baseline p50 "
+                       "(default 0.5 = 50%%)")
+    aregr.add_argument("--min-runs", type=int, default=None, metavar="N",
+                       help="good samples required before flagging "
+                       "(default 3)")
+    aregr.add_argument("--json", action="store_true")
+
+    aexp = asub.add_parser(
+        "export", help="export the history (json, prom, chrome, html)"
+    )
+    _ledger_arg(aexp)
+    aexp.add_argument("--format", choices=["json", "prom", "chrome", "html"],
+                      default="json")
+    aexp.add_argument("--out", default=None, metavar="PATH",
+                      help="output file (default: stdout)")
+
+    arecal = asub.add_parser(
+        "recalibrate",
+        help="replay ledgered span/IPC totals into a calibration store "
+        "so planning sharpens from history (see docs/planner.md)",
+    )
+    _ledger_arg(arecal)
+    arecal.add_argument("--calibration", required=True, metavar="PATH",
+                        help="calibration store JSON to update in place "
+                        "(atomic replace)")
+    arecal.add_argument("--out", default=None, metavar="PATH",
+                        help="write the updated store here instead of "
+                        "replacing --calibration")
 
     wf = sub.add_parser("workflow", help="run the fused/discrete workflow "
                         "with a simulated timing report")
@@ -457,6 +523,7 @@ def _cmd_pipeline(args) -> int:
             trace=args.trace is not None,
             cache=cache,
             memory_budget=memory_budget,
+            ledger=args.ledger,
         )
     else:
         with _make_cli_backend(args) as backend:
@@ -469,6 +536,7 @@ def _cmd_pipeline(args) -> int:
                 degrade=args.degrade,
                 cache=cache,
                 memory_budget=memory_budget,
+                ledger=args.ledger,
             )
 
     if args.arff is not None:
@@ -482,21 +550,25 @@ def _cmd_pipeline(args) -> int:
             for doc_id, cluster in enumerate(result.kmeans.assignments):
                 handle.write(f"{doc_id}\t{cluster}\n")
 
-    print(f"fused pipeline on backend {result.backend_name} "
+    # One serializer feeds every reporting surface (ledger, bench, this
+    # summary) — the prints below read the shared record, not the live
+    # result fields, so the accounting cannot drift between surfaces.
+    record = result.to_record()
+    print(f"fused pipeline on backend {record['backend']} "
           f"({stream.n_read} documents via {args.read_workers} read "
           f"worker(s), {len(result.tfidf.vocabulary)} terms):")
     if result.plan is not None:
         print(f"plan: {result.plan.describe()}")
-        print(f"  planned in {result.plan_seconds:.3f}s "
-              f"(calibration: {result.plan.calibration}; "
-              f"predicted {result.plan.predicted_total_s:.3f}s)")
+        print(f"  planned in {record['plan_seconds']:.3f}s "
+              f"(calibration: {record['plan']['calibration']}; "
+              f"predicted {record['plan']['predicted_total_s']:.3f}s)")
         if args.explain_plan:
             print(result.plan.explain())
-    for phase, seconds in result.phase_seconds.items():
+    for phase, seconds in record["phases"].items():
         print(f"  {phase:>14}: {seconds:9.3f}s")
-    print(f"  {'total':>14}: {result.total_s:9.3f}s")
-    if result.ipc is not None:
-        total = result.ipc["total"]
+    print(f"  {'total':>14}: {record['total_s']:9.3f}s")
+    if record["ipc"] is not None:
+        total = record["ipc"]["total"]
         print(
             f"IPC: {total['tasks']} tasks, "
             f"{total['task_pickle_bytes'] / 1e6:.2f} MB pickled out / "
@@ -512,19 +584,20 @@ def _cmd_pipeline(args) -> int:
                 f"{total['timeouts']} timeout(s), "
                 f"{total['pool_restarts']} pool restart(s)"
             )
-    for event in result.downgrades:
+    for event in record["downgrades"]:
         print(
-            f"degraded: {event.from_backend} -> {event.to_backend} "
-            f"during phase {event.phase!r} ({event.reason})"
+            f"degraded: {event['from_backend']} -> {event['to_backend']} "
+            f"during phase {event['phase']!r} ({event['reason']})"
         )
-    if result.quarantine:
-        docs = ", ".join(str(d) for d in result.quarantine.doc_ids)
+    if record["quarantine"] is not None:
+        q = record["quarantine"]
+        docs = ", ".join(str(d) for d in q["doc_ids"])
         print(
-            f"quarantined: {len(result.quarantine)} poisoned slice(s)"
+            f"quarantined: {q['slices']} poisoned slice(s)"
             + (f"; dropped document id(s): {docs}" if docs else "")
         )
-    if result.cache is not None:
-        c = result.cache
+    if record["cache"] is not None:
+        c = record["cache"]
         shards_seen = c["shard_hits"] + c["shard_misses"]
         shard_note = (
             f", {c['shard_hits']}/{shards_seen} shard(s) reused"
@@ -538,8 +611,8 @@ def _cmd_pipeline(args) -> int:
             f"stored {c['stored']} entr{'y' if c['stored'] == 1 else 'ies'}"
             + (" [disabled after quarantine]" if c["disabled"] else "")
         )
-    if result.tiles is not None:
-        t = result.tiles
+    if record["tiles"] is not None:
+        t = record["tiles"]
         print(
             f"tiles: {t['tiles']} spilled ({t['tile_bytes'] / 1e6:.2f} MB "
             f"on disk), peak pinned {t['peak_pinned_bytes'] / 1e6:.2f} MB "
@@ -548,14 +621,20 @@ def _cmd_pipeline(args) -> int:
         )
     if result.trace is not None:
         result.trace.write_chrome_trace(args.trace)
-        summary = result.trace.phase_summary()
+        summary = record["trace"]
         line = ", ".join(
-            f"{phase} {stats.utilization:.0%}/{stats.n_workers}w"
-            f" (straggler x{stats.straggler_ratio:.1f})"
+            f"{phase} {stats['utilization']:.0%}/{stats['n_workers']}w"
+            f" (straggler x{stats['straggler_ratio']:.1f})"
             for phase, stats in summary.items()
         )
         print(f"trace: {len(result.trace.spans)} spans -> {args.trace}; "
               f"utilization: {line}")
+    if result.ledger is not None:
+        led = result.ledger
+        print(
+            f"ledger: {led['records']} step record(s) -> {led['dir']} "
+            f"(run {led['run_id']}, append {led['append_s'] * 1e3:.1f}ms)"
+        )
     print(f"cluster sizes: {result.kmeans.cluster_sizes()} "
           f"({result.kmeans.n_iters} iterations, "
           f"converged={result.kmeans.converged})")
@@ -563,6 +642,127 @@ def _cmd_pipeline(args) -> int:
     if close is not None:
         close()  # a tiled matrix owns its spill directory
     return 0
+
+
+def _analytics_records(args):
+    """Load the ledger history, surfacing skipped lines on stderr."""
+    from repro.obs.ledger import read_ledger
+
+    records, problems = read_ledger(args.ledger)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    return records
+
+
+def _cmd_analytics(args) -> int:
+    from repro.obs import analytics
+
+    if args.action == "recalibrate":
+        from repro.plan import CalibrationStore
+
+        store = CalibrationStore.load(args.calibration)
+        before = {
+            phase: constants.compute_ns_per_doc
+            for phase, constants in store.phases.items()
+        }
+        summary = analytics.recalibrate(_analytics_records(args), store)
+        out = args.out or args.calibration
+        store.save(out)
+        print(
+            f"recalibrated from {summary['runs_applied']} run(s) "
+            f"({summary['runs_skipped']} without usable telemetry) -> {out}"
+        )
+        for phase, constants in store.phases.items():
+            old = before.get(phase, 0.0)
+            new = constants.compute_ns_per_doc
+            delta = (new / old - 1.0) * 100 if old else 0.0
+            print(f"  {phase:>14}: compute {old:.0f} -> {new:.0f} ns/doc "
+                  f"({delta:+.1f}%)")
+        return 0
+
+    records = _analytics_records(args)
+    if args.action == "heatmap":
+        if args.json:
+            print(analytics.to_json(
+                [s.as_dict() for s in analytics.heatmap(records).values()]
+            ), end="")
+            return 0
+        if not records:
+            print(f"ledger {args.ledger} has no records yet")
+            return 0
+        print(f"workflow DNA over "
+              f"{len({r['run_id'] for r in records})} run(s):")
+        header = (f"{'step':>14}  {'runs':>5} {'p50 s':>9} {'p95 s':>9} "
+                  f"{'fail':>5} {'MB moved':>9} {'cache':>6} {'util':>5} "
+                  f"{'strag':>6}")
+        print(header)
+        for s in analytics.heatmap(records).values():
+            hit = "-" if s.cache_hit_rate is None else f"{s.cache_hit_rate:.0%}"
+            util = ("-" if s.mean_utilization is None
+                    else f"{s.mean_utilization:.0%}")
+            strag = ("-" if s.mean_straggler_ratio is None
+                     else f"x{s.mean_straggler_ratio:.1f}")
+            print(f"{s.step:>14}  {s.n_records:>5} {s.p50_s:>9.3f} "
+                  f"{s.p95_s:>9.3f} {s.failure_rate:>5.0%} "
+                  f"{s.bytes_moved / 1e6:>9.2f} {hit:>6} {util:>5} "
+                  f"{strag:>6}")
+        return 0
+
+    if args.action == "steps":
+        rows = analytics.step_history(records, args.step)
+        if args.json:
+            print(analytics.to_json(rows), end="")
+            return 0
+        if not rows:
+            print(f"no records for step {args.step!r}" if args.step
+                  else f"ledger {args.ledger} has no records yet")
+            return 0
+        for row in rows:
+            print(f"{row['ts']:.3f}  {row['step']:>14}  "
+                  f"{row['duration_s']:9.3f}s  {row['status']:>6}  "
+                  f"{row['backend']}  ({row['run_id']})")
+        return 0
+
+    if args.action == "regressions":
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance"] = args.tolerance
+        if args.min_runs is not None:
+            kwargs["min_runs"] = args.min_runs
+        flagged = analytics.detect_regressions(records, **kwargs)
+        if args.json:
+            print(analytics.to_json(flagged), end="")
+        elif not flagged:
+            print(f"no regressions across "
+                  f"{len({r['run_id'] for r in records})} run(s)")
+        else:
+            for f in flagged:
+                print(f"regression: {f['step']} latest {f['latest_s']:.3f}s "
+                      f"vs baseline p50 {f['baseline_p50_s']:.3f}s "
+                      f"(x{f['ratio']:.2f}, threshold "
+                      f"{f['threshold_s']:.3f}s, {f['samples']} samples)")
+        return 1 if flagged else 0
+
+    if args.action == "export":
+        if args.format == "json":
+            text = analytics.to_json(analytics.export_json(records))
+        elif args.format == "prom":
+            text = analytics.export_prom(records)
+        elif args.format == "chrome":
+            text = analytics.to_json(analytics.export_chrome(records))
+        else:
+            text = analytics.export_html(records)
+        if args.out is None:
+            print(text, end="")
+        else:
+            from repro.io.atomic import atomic_write_text
+
+            atomic_write_text(args.out, text)
+            print(f"wrote {args.format} export "
+                  f"({len(records)} record(s)) to {args.out}")
+        return 0
+
+    raise ConfigurationError(f"unknown analytics action {args.action!r}")
 
 
 def _cmd_plan(args) -> int:
@@ -609,6 +809,7 @@ _COMMANDS = {
     "kmeans": _cmd_kmeans,
     "workflow": _cmd_workflow,
     "pipeline": _cmd_pipeline,
+    "analytics": _cmd_analytics,
     "plan": _cmd_plan,
     "analyze": _cmd_analyze,
 }

@@ -18,6 +18,7 @@ bit-identical with tracing on or off.
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -30,6 +31,7 @@ from repro.exec.process import ProcessBackend, make_backend
 from repro.exec.resilience import DowngradeEvent, QuarantineReport
 from repro.exec.spans import RunTrace, SpanRecorder
 from repro.io.parallel_read import DocumentStream
+from repro.obs.ledger import RunLedger, WallAnchor
 from repro.ops import kernels
 from repro.ops.kmeans import PHASE_KMEANS, KMeansOperator, KMeansResult
 from repro.ops.tfidf import PHASE_TRANSFORM, TfIdfOperator, TfIdfResult
@@ -116,10 +118,47 @@ class RealRunResult:
     #: for resident-matrix runs. The matrix on ``tfidf.matrix`` still
     #: maps these tiles — call its ``close()`` when done with the result.
     tiles: dict | None = None
+    #: Where this run's ledger append landed (``{"run_id", "dir",
+    #: "records", "append_s"}``) when ``run_pipeline(ledger=...)`` was
+    #: given; ``None`` for unledgered runs.
+    ledger: dict | None = None
 
     @property
     def total_s(self) -> float:
         return sum(self.phase_seconds.values())
+
+    def to_record(self) -> dict:
+        """The run's accounting as one JSON-able dict.
+
+        The single serializer behind every surface that reports a run —
+        the CLI summary, benchmark run entries, and the persistent run
+        ledger — so the accounting fields cannot drift apart. Carries
+        numbers only, never live objects: ``trace`` is the per-phase
+        stats summary, ``trace_totals`` the calibration-grade sums
+        (``busy_s``/``n_items``/bytes per phase), ``plan`` the planner's
+        summary dict.
+        """
+        return {
+            "backend": self.backend_name,
+            "phases": dict(self.phase_seconds),
+            "total_s": self.total_s,
+            "ipc": self.ipc,
+            "trace": self.trace.summary_dict() if self.trace else None,
+            "trace_totals": self.trace.phase_totals() if self.trace else None,
+            "plan": self.plan.summary_dict() if self.plan else None,
+            "plan_seconds": self.plan_seconds,
+            "cache": self.cache,
+            "tiles": self.tiles,
+            "downgrades": [event.as_dict() for event in self.downgrades],
+            "quarantine": (
+                {
+                    "slices": len(self.quarantine),
+                    "doc_ids": list(self.quarantine.doc_ids),
+                }
+                if self.quarantine
+                else None
+            ),
+        }
 
 
 def run_pipeline(
@@ -134,6 +173,7 @@ def run_pipeline(
     calibration: CalibrationStore | str | None = None,
     cache: PipelineCache | str | None = None,
     memory_budget: int | None = None,
+    ledger: RunLedger | str | None = None,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -192,6 +232,12 @@ def run_pipeline(
     handed to the planner, which only tiles when the estimated matrix
     exceeds the budget. The tiled transform is fail-fast (no quarantine
     bisection), and ``result.tiles`` carries the spill accounting.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a directory
+    path) appends one wall-anchored record per executed step to the
+    persistent run ledger — including a ``failed`` record for the step
+    that raised, when one does — and notes the append on
+    ``result.ledger``. See ``docs/ledger.md``.
     """
     if plan is not None:
         if backend is not None:
@@ -201,13 +247,18 @@ def run_pipeline(
         return _run_planned(
             corpus, plan, tfidf=tfidf, kmeans=kmeans,
             trace=trace, degrade=degrade, calibration=calibration,
-            cache=cache, memory_budget=memory_budget,
+            cache=cache, memory_budget=memory_budget, ledger=ledger,
         )
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
     tfidf = tfidf or TfIdfOperator()
     kmeans = kmeans or KMeansOperator()
     seconds: dict[str, float] = {}
+    run_ledger = RunLedger.ensure(ledger)
+    anchor = WallAnchor.capture() if run_ledger is not None else None
+    # The step a raising run bills its failure record to — run_phase
+    # keeps it current, so mid-flight errors land on the right step.
+    current_step = {"name": PHASE_INPUT_WC}
     streamed = isinstance(corpus, DocumentStream)
     downgrades: list[DowngradeEvent] = []
     created: list[ExecutionBackend] = []
@@ -237,6 +288,7 @@ def run_pipeline(
     def run_phase(phase: str, thunk, *, replayable: bool = True):
         """One phase attempt, degrading through the tiers if allowed."""
         nonlocal backend
+        current_step["name"] = phase
         while True:
             try:
                 return thunk(backend)
@@ -359,6 +411,15 @@ def run_pipeline(
             lower.close()
         if session is not None:
             session.finish()
+        if run_ledger is not None and sys.exc_info()[1] is not None:
+            run_ledger.record_failed_run(
+                anchor=anchor,
+                phase_seconds=seconds,
+                failed_step=current_step["name"],
+                error=sys.exc_info()[1],
+                backend=backend.name if backend is not None else "inline",
+                n_docs=len(source) if hasattr(source, "__len__") else 0,
+            )
 
     run_trace: RunTrace | None = None
     if trace:
@@ -373,7 +434,7 @@ def run_pipeline(
     if backend is not None and backend.quarantine:
         quarantine = backend.quarantine
 
-    return RealRunResult(
+    result = RealRunResult(
         tfidf=scores,
         kmeans=clusters,
         phase_seconds=seconds,
@@ -385,6 +446,18 @@ def run_pipeline(
         cache=session.snapshot() if session is not None else None,
         tiles=_spill_snapshot(scores),
     )
+    if run_ledger is not None:
+        result.ledger = run_ledger.record_run(
+            result,
+            anchor=anchor,
+            config={
+                "trace": trace,
+                "degrade": degrade,
+                "cached": session is not None,
+                "memory_budget": memory_budget,
+            },
+        )
+    return result
 
 
 def _spill_snapshot(scores: TfIdfResult) -> dict | None:
@@ -444,9 +517,13 @@ def _run_planned(
     calibration: CalibrationStore | str | None,
     cache: PipelineCache | str | None = None,
     memory_budget: int | None = None,
+    ledger: RunLedger | str | None = None,
 ) -> RealRunResult:
     """Execute a :class:`RealPlan`, phase by phase, on its chosen backends."""
     kmeans = kmeans or KMeansOperator()
+    run_ledger = RunLedger.ensure(ledger)
+    anchor = WallAnchor.capture() if run_ledger is not None else None
+    current_step = {"name": PHASE_INPUT_WC}
     plan_t0 = time.perf_counter()
     read_spans: SpanRecorder | None = None
     read_s: float | None = None
@@ -562,6 +639,7 @@ def _run_planned(
 
     def run_phase(phase: str, be: ExecutionBackend, thunk, *, replayable=True):
         """One phase attempt on ``be``, degrading through tiers if allowed."""
+        current_step["name"] = phase
         while True:
             try:
                 return thunk(be)
@@ -711,6 +789,16 @@ def _run_planned(
             be.close()
         if session is not None:
             session.finish()
+        if run_ledger is not None and sys.exc_info()[1] is not None:
+            run_ledger.record_failed_run(
+                anchor=anchor,
+                phase_seconds=seconds,
+                failed_step=current_step["name"],
+                error=sys.exc_info()[1],
+                backend="planned",
+                kind="planned",
+                n_docs=len(docs),
+            )
 
     run_trace: RunTrace | None = None
     if trace:
@@ -735,6 +823,18 @@ def _run_planned(
         cache=session.snapshot() if session is not None else None,
         tiles=_spill_snapshot(scores),
     )
+    if run_ledger is not None:
+        result.ledger = run_ledger.record_run(
+            result,
+            anchor=anchor,
+            kind="planned",
+            config={
+                "trace": trace,
+                "degrade": degrade,
+                "cached": session is not None,
+                "memory_budget": memory_budget,
+            },
+        )
     if observe_store is not None:
         # Keep learning from whatever executed: cached phases ran no
         # tasks (no spans, no IPC bytes), so their constants are left

@@ -123,16 +123,26 @@ class SpanRecorder:
         self._task_ids: dict[str, int] = {}
         self.enabled = False
         self.epoch = 0.0
+        self.epoch_wall = 0.0
 
     # -- lifecycle ---------------------------------------------------------------
 
     def begin_run(self) -> float:
-        """Arm the recorder for one run; returns the new epoch."""
+        """Arm the recorder for one run; returns the new epoch.
+
+        The epoch is a *pair*: the monotonic reading every span offset
+        is measured against, and the wall-clock reading taken at the
+        same instant (``epoch_wall``). Span math stays monotonic-only —
+        immune to NTP steps — while ``epoch_wall + offset`` anchors any
+        span on the real-time axis, so traces and ledger records from
+        different processes and different runs are comparable.
+        """
         with self._lock:
             self._spans = []
             self._lanes = {}
             self._task_ids = {}
             self._phase = "misc"
+            self.epoch_wall = time.time()
             self.epoch = time.perf_counter()
             self.enabled = True
         return self.epoch
@@ -342,6 +352,10 @@ class RunTrace:
     phase_wall_s: dict[str, float] = field(default_factory=dict)
     backend_name: str = "sequential"
     workers: int = 1
+    #: Wall-clock time (Unix epoch seconds) of the run's span epoch —
+    #: ``epoch_wall_s + span.t_start`` puts any span on the real-time
+    #: axis shared with the run ledger.
+    epoch_wall_s: float = 0.0
 
     @classmethod
     def from_recorder(
@@ -356,6 +370,7 @@ class RunTrace:
             phase_wall_s=dict(phase_wall_s or {}),
             backend_name=backend_name,
             workers=workers,
+            epoch_wall_s=recorder.epoch_wall,
         )
 
     @property
@@ -418,7 +433,9 @@ class RunTrace:
         One complete (``"ph": "X"``) event per task span, one ``tid``
         lane per worker; load the file in ``chrome://tracing`` or
         https://ui.perfetto.dev. Timestamps are microseconds since the
-        run epoch, as the format requires.
+        run epoch, as the format requires; the epoch's wall-clock time
+        rides along under ``otherData`` so separate traces can be lined
+        up on one real-time axis.
         """
         events: list[dict] = [
             {
@@ -458,7 +475,11 @@ class RunTrace:
                     },
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"epoch_wall_s": self.epoch_wall_s},
+        }
 
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

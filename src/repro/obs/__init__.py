@@ -1,0 +1,27 @@
+"""Persistent observability: the run ledger and its analytics engine.
+
+Every run of the real pipeline measures itself — phase wall clock, task
+spans, exact IPC bytes, cache savings, tile pinning, plan decisions,
+recovery bills — but until this package that telemetry died with the
+process. :mod:`repro.obs.ledger` persists it (an append-only JSONL
+execution log, one record per workflow step) and
+:mod:`repro.obs.analytics` aggregates the history into the Workflow-DNA
+heatmap, regression flags, and exportable metrics. See
+``docs/ledger.md``.
+"""
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerCorruptionWarning,
+    RunLedger,
+    WallAnchor,
+    read_ledger,
+)
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LedgerCorruptionWarning",
+    "RunLedger",
+    "WallAnchor",
+    "read_ledger",
+]

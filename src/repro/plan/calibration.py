@@ -324,19 +324,34 @@ class CalibrationStore:
         per phase — requires ``trace=True``), byte constants from its
         IPC snapshot. Phases absent from the run are left untouched.
         """
+        totals = result.trace.phase_totals() if result.trace else {}
+        ipc = result.ipc if isinstance(result.ipc, dict) else {}
+        self.observe_totals(totals, ipc.get("phases", {}), n_docs)
+
+    def observe_totals(
+        self, totals: dict, ipc_phases: dict, n_docs: int
+    ) -> None:
+        """Blend raw per-phase measurements into the constants.
+
+        The record-level entry point shared by :meth:`observe_run` (live
+        feedback from the run that just finished) and ledger replay
+        (``repro analytics recalibrate`` over persisted history).
+        ``totals`` maps phase → ``{"busy_s", "n_items"}`` (the shape of
+        :meth:`~repro.exec.spans.RunTrace.phase_totals`); ``ipc_phases``
+        maps phase → its IPC counter dict. Phases absent from either are
+        left untouched.
+        """
         if n_docs <= 0:
             return
-        totals = result.trace.phase_totals() if result.trace else {}
         for phase, t in totals.items():
-            if t["n_items"] <= 0 or phase not in self.phases:
+            if t.get("n_items", 0) <= 0 or phase not in self.phases:
                 continue
             measured = t["busy_s"] / t["n_items"] * 1e9
             constants = self.phases[phase]
             constants.compute_ns_per_doc = _blend(
                 constants.compute_ns_per_doc, measured
             )
-        ipc = result.ipc if isinstance(result.ipc, dict) else {}
-        for phase, counters in ipc.get("phases", {}).items():
+        for phase, counters in ipc_phases.items():
             if phase not in self.phases:
                 continue
             constants = self.phases[phase]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import time
 
 import pytest
 
@@ -41,6 +42,13 @@ class TestSpanRecorder:
         assert len(recorder.spans) == 1
         recorder.begin_run()  # re-arming drops the previous run's spans
         assert recorder.spans == []
+
+    def test_begin_run_anchors_epoch_to_wall_clock(self):
+        recorder = SpanRecorder()
+        before = time.time()
+        recorder.begin_run()
+        after = time.time()
+        assert before <= recorder.epoch_wall <= after
 
     def test_end_run_disarms_but_keeps_spans(self):
         recorder = SpanRecorder()
@@ -171,7 +179,10 @@ class TestChromeExport:
 
     def test_structure_is_valid_trace_event_json(self):
         doc = self._trace().to_chrome_trace()
-        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        # The wall anchor rides along so traces line up against the
+        # run ledger's wall-clock timestamps.
+        assert doc["otherData"] == {"epoch_wall_s": 0.0}
         events = doc["traceEvents"]
         assert all(e["ph"] in ("M", "X") for e in events)
         xs = [e for e in events if e["ph"] == "X"]

@@ -1,0 +1,231 @@
+"""Tests for the persistent run ledger (repro.obs.ledger)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.errors import ConfigurationError
+from repro.obs.ledger import (
+    LEDGER_FILE,
+    LEDGER_SCHEMA,
+    LedgerCorruptionWarning,
+    RunLedger,
+    WallAnchor,
+    read_ledger,
+)
+from repro.ops.kmeans import KMeansOperator
+from repro.text.synth import MIX_PROFILE, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(MIX_PROFILE, scale=0.002, seed=1)
+
+
+def _synthetic(run_id="r1", started=1000.0, ts=1001.0, step="transform",
+               schema=LEDGER_SCHEMA, **extra):
+    record = {
+        "schema": schema,
+        "run_id": run_id,
+        "ts": ts,
+        "step": step,
+        "status": "ok",
+        "duration_s": 0.5,
+        "run": {"started": started, "kind": "pipeline", "backend": "threads-2",
+                "n_docs": 10, "total_s": 1.0},
+        "host": {"platform": "test", "python": "3.11.0", "cpu_count": 1},
+    }
+    record.update(extra)
+    return record
+
+
+def _write_lines(root, lines):
+    os.makedirs(root, exist_ok=True)
+    with open(os.path.join(root, LEDGER_FILE), "a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+class TestWallAnchor:
+    def test_at_maps_offsets_onto_the_wall_axis(self):
+        anchor = WallAnchor(wall=100.0, mono=5.0)
+        assert anchor.at(2.5) == 102.5
+
+    def test_now_never_runs_backwards_within_a_run(self):
+        # Strict ordering is the ledger writer's job (_TS_STEP): at epoch
+        # magnitude, back-to-back perf_counter deltas round away in doubles.
+        anchor = WallAnchor.capture()
+        stamps = [anchor.now() for _ in range(5)]
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+class TestRunLedger:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunLedger("")
+
+    def test_ensure_coerces_paths_and_instances(self, tmp_path):
+        assert RunLedger.ensure(None) is None
+        ledger = RunLedger.ensure(str(tmp_path / "led"))
+        assert isinstance(ledger, RunLedger)
+        assert RunLedger.ensure(ledger) is ledger
+        with pytest.raises(ConfigurationError):
+            RunLedger.ensure(42)
+
+    def test_pipeline_run_is_ledgered_per_step(self, tmp_path, corpus):
+        led = str(tmp_path / "led")
+        result = run_pipeline(corpus, ledger=led)
+        assert result.ledger is not None
+        assert result.ledger["records"] == 3
+        assert result.ledger["dir"] == led
+        assert result.ledger["append_s"] > 0.0
+
+        records, problems = read_ledger(led)
+        assert problems == []
+        assert [r["step"] for r in records] == ["input+wc", "transform", "kmeans"]
+        for record in records:
+            assert record["schema"] == LEDGER_SCHEMA
+            assert record["status"] == "ok"
+            assert record["run"]["n_docs"] == len(corpus)
+            assert record["run"]["backend"] == result.backend_name
+            assert record["duration_s"] == pytest.approx(
+                result.phase_seconds[record["step"]]
+            )
+            assert record["host"]["cpu_count"] >= 1
+
+    def test_two_sequential_runs_have_strictly_ordered_timestamps(
+        self, tmp_path, corpus
+    ):
+        led = str(tmp_path / "led")
+        run_pipeline(corpus, ledger=led)
+        run_pipeline(corpus, ledger=led)
+        records, problems = read_ledger(led)
+        assert problems == []
+        assert len({r["run_id"] for r in records}) == 2
+        stamps = [r["ts"] for r in records]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_corrupt_trailing_line_skipped_loudly(self, tmp_path, corpus):
+        led = str(tmp_path / "led")
+        run_pipeline(corpus, ledger=led)
+        with open(os.path.join(led, LEDGER_FILE), "a", encoding="utf-8") as h:
+            h.write('{"schema": 1, "run_id": "torn-appe')
+        with pytest.warns(LedgerCorruptionWarning, match="corrupt"):
+            records, problems = read_ledger(led)
+        assert len(records) == 3
+        assert len(problems) == 1
+        assert "truncated append" in problems[0]
+
+    def test_missing_and_empty_directories_are_empty_history(self, tmp_path):
+        assert read_ledger(str(tmp_path / "nope")) == ([], [])
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert read_ledger(str(empty)) == ([], [])
+
+    def test_single_record_aggregates(self, tmp_path):
+        led = str(tmp_path / "led")
+        _write_lines(led, [json.dumps(_synthetic())])
+        records, problems = read_ledger(led)
+        assert problems == []
+        assert len(records) == 1
+        assert records[0]["step"] == "transform"
+
+    def test_newer_schema_records_skipped_loudly(self, tmp_path):
+        led = str(tmp_path / "led")
+        _write_lines(led, [
+            json.dumps(_synthetic(run_id="old", ts=1001.0)),
+            json.dumps(_synthetic(run_id="new", ts=1002.0,
+                                  schema=LEDGER_SCHEMA + 1)),
+        ])
+        with pytest.warns(LedgerCorruptionWarning, match="newer version"):
+            records, problems = read_ledger(led)
+        assert [r["run_id"] for r in records] == ["old"]
+        assert len(problems) == 1
+
+    def test_foreign_and_incomplete_lines_skipped_loudly(self, tmp_path):
+        led = str(tmp_path / "led")
+        incomplete = _synthetic()
+        del incomplete["duration_s"]
+        _write_lines(led, [
+            '["not", "an", "object"]',
+            '{"no_schema": true}',
+            json.dumps(incomplete),
+            json.dumps(_synthetic()),
+        ])
+        with pytest.warns(LedgerCorruptionWarning):
+            records, problems = read_ledger(led)
+        assert len(records) == 1
+        assert len(problems) == 3
+        assert any("non-object" in p for p in problems)
+        assert any("'schema'" in p for p in problems)
+        assert any("duration_s" in p for p in problems)
+
+    def test_rotated_files_aggregate_together(self, tmp_path):
+        led = str(tmp_path / "led")
+        os.makedirs(led)
+        with open(os.path.join(led, "archive-2025.jsonl"), "w") as h:
+            h.write(json.dumps(_synthetic(run_id="a", started=500.0,
+                                          ts=501.0)) + "\n")
+        _write_lines(led, [json.dumps(_synthetic(run_id="b"))])
+        records, problems = read_ledger(led)
+        assert problems == []
+        # Sorted by run start across files, not by filename.
+        assert [r["run_id"] for r in records] == ["a", "b"]
+
+
+class TestFailedRuns:
+    def test_record_failed_run_shapes(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "led"))
+        anchor = WallAnchor.capture()
+        info = ledger.record_failed_run(
+            anchor=anchor,
+            phase_seconds={"input+wc": 0.2},
+            failed_step="transform",
+            error=RuntimeError("boom"),
+            backend="threads-2",
+            n_docs=10,
+        )
+        assert info["records"] == 2
+        records, problems = read_ledger(ledger.root)
+        assert problems == []
+        by_step = {r["step"]: r for r in records}
+        assert by_step["input+wc"]["status"] == "ok"
+        failed = by_step["transform"]
+        assert failed["status"] == "failed"
+        assert failed["error"] == "boom"
+        assert failed["duration_s"] >= 0.0
+        stamps = [r["ts"] for r in records]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_pipeline_failure_is_ledgered(self, tmp_path, corpus):
+        class BoomKMeans(KMeansOperator):
+            def fit(self, matrix, backend=None):
+                raise RuntimeError("boom")
+
+        led = str(tmp_path / "led")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_pipeline(corpus, kmeans=BoomKMeans(), ledger=led)
+        records, problems = read_ledger(led)
+        assert problems == []
+        statuses = {r["step"]: r["status"] for r in records}
+        assert statuses["input+wc"] == "ok"
+        assert statuses["transform"] == "ok"
+        assert statuses["kmeans"] == "failed"
+        failed = next(r for r in records if r["status"] == "failed")
+        assert "boom" in failed["error"]
+
+
+class TestToRecord:
+    def test_to_record_matches_the_result_and_serializes(self, corpus):
+        result = run_pipeline(corpus)
+        record = result.to_record()
+        assert record["backend"] == result.backend_name
+        assert record["phases"] == dict(result.phase_seconds)
+        assert record["total_s"] == result.total_s
+        assert record["downgrades"] == []
+        assert record["quarantine"] is None
+        json.dumps(record)  # every field must be JSON-serializable

@@ -1,11 +1,15 @@
 """Tests for the command-line interface (operators as separate binaries)."""
 
+import json
 import os
 
 import pytest
 
 from repro.cli import build_parser, main
 from repro.io import read_sparse_arff
+from repro.obs import read_ledger
+from repro.plan.calibration import CalibrationStore
+from repro.text.synth import MIX_PROFILE, generate_corpus
 
 
 @pytest.fixture()
@@ -421,3 +425,99 @@ class TestCachedPipeline:
         assert main(["pipeline", "--input", corpus_dir,
                      "--max-iters", "2"]) == 0
         assert "cache:" not in capsys.readouterr().out
+
+
+class TestLedgerAndAnalytics:
+    @pytest.fixture()
+    def ledger_dir(self, corpus_dir, tmp_path):
+        led = str(tmp_path / "ledger")
+        for _ in range(2):
+            assert main(["pipeline", "--input", corpus_dir,
+                         "--max-iters", "2", "--ledger", led]) == 0
+        return led
+
+    def test_pipeline_reports_ledger_append(self, corpus_dir, tmp_path, capsys):
+        led = str(tmp_path / "ledger")
+        assert main(["pipeline", "--input", corpus_dir, "--max-iters", "2",
+                     "--ledger", led]) == 0
+        out = capsys.readouterr().out
+        assert "ledger: 4 step record(s)" in out
+        assert os.path.exists(os.path.join(led, "ledger.jsonl"))
+
+    def test_no_ledger_prints_no_ledger_line(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir, "--max-iters", "2"]) == 0
+        assert "ledger:" not in capsys.readouterr().out
+
+    def test_heatmap_reports_steps(self, ledger_dir, capsys):
+        assert main(["analytics", "heatmap", "--ledger", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert "workflow DNA over 2 run(s)" in out
+        for step in ("read", "input+wc", "transform", "kmeans"):
+            assert step in out
+
+    def test_heatmap_json_output(self, ledger_dir, capsys):
+        assert main(["analytics", "heatmap", "--ledger", ledger_dir,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {s["step"] for s in doc} == {"read", "input+wc",
+                                            "transform", "kmeans"}
+        assert all(s["runs"] == 2 for s in doc)
+
+    def test_heatmap_empty_ledger(self, tmp_path, capsys):
+        assert main(["analytics", "heatmap", "--ledger",
+                     str(tmp_path / "none")]) == 0
+        assert "has no records yet" in capsys.readouterr().out
+
+    def test_steps_filters_history(self, ledger_dir, capsys):
+        assert main(["analytics", "steps", "--ledger", ledger_dir,
+                     "--step", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("kmeans") == 2
+        assert "transform" not in out
+
+    def test_regressions_clean_history_exits_zero(self, ledger_dir, capsys):
+        assert main(["analytics", "regressions", "--ledger", ledger_dir]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regressions_flag_slow_step_and_exit_one(self, ledger_dir, capsys):
+        records, _ = read_ledger(ledger_dir)
+        slow = dict(records[-1])
+        slow["run_id"] = "slow-run"
+        slow["run"] = dict(slow["run"], started=slow["run"]["started"] + 60)
+        slow["ts"] = slow["ts"] + 60
+        slow["duration_s"] = 30.0
+        slow["step"] = "kmeans"
+        with open(os.path.join(ledger_dir, "ledger.jsonl"), "a") as handle:
+            handle.write(json.dumps(slow) + "\n")
+        assert main(["analytics", "regressions", "--ledger", ledger_dir]) == 1
+        out = capsys.readouterr().out
+        assert "regression: kmeans" in out
+
+    def test_export_formats(self, ledger_dir, tmp_path, capsys):
+        prom = str(tmp_path / "metrics.prom")
+        assert main(["analytics", "export", "--ledger", ledger_dir,
+                     "--format", "prom", "--out", prom]) == 0
+        assert "repro_step_runs_total" in open(prom).read()
+        html = str(tmp_path / "dna.html")
+        assert main(["analytics", "export", "--ledger", ledger_dir,
+                     "--format", "html", "--out", html]) == 0
+        assert open(html).read().startswith("<!doctype html>")
+        capsys.readouterr()  # drop the "wrote ... export" lines
+        assert main(["analytics", "export", "--ledger", ledger_dir,
+                     "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"} == {0, 1}
+
+    def test_recalibrate_updates_store(self, ledger_dir, tmp_path, capsys):
+        store_path = str(tmp_path / "cal.json")
+        corpus = generate_corpus(MIX_PROFILE, scale=0.002, seed=1)
+        CalibrationStore.probe(corpus).save(store_path)
+        before = CalibrationStore.load(store_path)
+        assert main(["analytics", "recalibrate", "--ledger", ledger_dir,
+                     "--calibration", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "recalibrated from 2 run(s)" in out
+        after = CalibrationStore.load(store_path)
+        assert after.source == "observed"
+        assert (after.phases["kmeans"].compute_ns_per_doc
+                != before.phases["kmeans"].compute_ns_per_doc)

@@ -93,7 +93,21 @@ class TestMain:
     def test_unreadable_file_exits_one(self, tmp_path, capsys):
         path = tmp_path / "nope.json"
         assert validate_trace.main([str(path)]) == 1
-        assert "cannot load" in capsys.readouterr().err
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_file_refused_with_remedy(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text("")
+        assert validate_trace.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "is empty" in err and "--trace" in err
+
+    def test_truncated_json_refused_with_remedy(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text('{"traceEvents": [')
+        assert validate_trace.main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err and str(path) in err
 
     def test_real_pipeline_trace_passes(self, tmp_path):
         from repro.core.pipeline import run_pipeline

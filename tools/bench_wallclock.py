@@ -150,6 +150,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--process-workers", type=int, default=None,
                         help="worker count of the fixed process-backend "
                         "configuration in --mode plan (default: cpu count)")
+    parser.add_argument("--trace", action="store_true",
+                        help="span-trace every configuration in --mode "
+                        "backends and embed utilization/straggler summaries "
+                        "(adds a small tracing overhead to the timings)")
+    parser.add_argument("--ledger", default=None, metavar="DIR",
+                        help="append every --mode backends run to a run "
+                        "ledger directory for repro analytics "
+                        "(see docs/ledger.md)")
     parser.add_argument("--out", default=os.path.join(REPO, "BENCH_wallclock.json"))
     parser.add_argument("--append", action="store_true",
                         help="append the record to --out (JSON list) "
@@ -235,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
             repeats=args.repeats,
             seed=args.seed,
             kmeans_iters=args.kmeans_iters,
+            trace=args.trace,
+            ledger=args.ledger,
         )
 
     _write(args.out, record, args.append)

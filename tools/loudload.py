@@ -1,0 +1,54 @@
+"""Loud, fail-fast file loading shared by the repo's validators.
+
+Every validator guards an append-forever artifact (the benchmark
+trajectory, pipeline traces, the run ledger), so a half-written file
+must be *refused with a remedy*, never silently accepted or half-read.
+This module is the one implementation of that refusal — the same three
+diagnostics everywhere, each naming the path and what to do about it:
+
+* unreadable file  → ``cannot read <path>: <errno>``;
+* empty file       → ``<path> is empty — the file was truncated
+  (interrupted write?); <remedy>``;
+* unparseable JSON → ``<path> is not valid JSON (truncated or corrupt);
+  <remedy>``.
+
+Used by ``validate_trace.py`` and ``validate_ledger.py``; import with
+the tools directory on ``sys.path`` (automatic when run as scripts).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["LoudLoadError", "read_text_strict", "load_json_strict"]
+
+
+class LoudLoadError(Exception):
+    """A file refused by the strict loaders; ``str()`` is the diagnostic."""
+
+
+def read_text_strict(path: str, *, remedy: str) -> str:
+    """The file's text, or :class:`LoudLoadError` naming path + remedy."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise LoudLoadError(f"cannot read {path}: {exc}") from exc
+    if not raw.strip():
+        raise LoudLoadError(
+            f"{path} is empty — the file was truncated (interrupted "
+            f"write?); {remedy}"
+        )
+    return raw
+
+
+def load_json_strict(path: str, *, remedy: str) -> object:
+    """Parsed JSON from ``path``, or :class:`LoudLoadError` with remedy."""
+    raw = read_text_strict(path, remedy=remedy)
+    try:
+        return json.loads(raw)
+    except ValueError as exc:
+        raise LoudLoadError(
+            f"{path} is not valid JSON (truncated or corrupt); "
+            f"{remedy}: {exc}"
+        ) from exc

@@ -1,0 +1,186 @@
+"""Validate a run-ledger directory against the step-record schema.
+
+The ledger (``docs/ledger.md``) is the append-forever execution history
+behind ``repro analytics``; the *reader* skips damage loudly so
+aggregation never dies, but CI wants the opposite stance — a freshly
+written ledger must be pristine, so any unparseable line, unknown
+schema, missing key, or out-of-order timestamp is an error here:
+
+* every ``*.jsonl`` file in the directory must be non-empty and
+  line-by-line parseable JSON objects;
+* every record carries ``schema`` (integer >= 1; deep checks apply to
+  schema 1), ``run_id``, ``ts``, ``step``, ``status`` (``ok`` or
+  ``failed`` — failed records must carry ``error``), numeric
+  non-negative ``duration_s``, a ``run`` object (``started``/``kind``/
+  ``backend``/``n_docs``/``total_s``) and a ``host`` object
+  (``platform``/``python``/``cpu_count``);
+* within one ``run_id``, timestamps are strictly increasing — the
+  wall-anchoring guarantee the analytics sort relies on.
+
+Usage::
+
+    python tools/validate_ledger.py /path/to/ledger
+
+Exit code 0 when the ledger passes, 1 with diagnostics when it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from loudload import LoudLoadError, read_text_strict  # noqa: E402
+
+#: Highest schema this validator checks deeply.
+LEDGER_SCHEMA = 1
+
+_REMEDY = (
+    "delete the damaged ledger file (the history in other *.jsonl files "
+    "survives) or restore it from a backup"
+)
+
+_STATUSES = {"ok", "failed"}
+
+_RUN_KEYS = ("started", "kind", "backend", "n_docs", "total_s")
+
+_HOST_KEYS = ("platform", "python", "cpu_count")
+
+
+def _validate_record(record: object, label: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"{label}: record is not an object"]
+    schema = record.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        return [f"{label}: 'schema' must be an integer >= 1, got {schema!r}"]
+    if schema > LEDGER_SCHEMA:
+        # A newer writer's records are not errors, but they cannot be
+        # deep-checked here.
+        return []
+    if not isinstance(record.get("run_id"), str) or not record["run_id"]:
+        problems.append(f"{label}: lacks a non-empty string 'run_id'")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        problems.append(f"{label}: 'ts' must be a non-negative number")
+    if not isinstance(record.get("step"), str) or not record["step"]:
+        problems.append(f"{label}: lacks a non-empty string 'step'")
+    status = record.get("status")
+    if status not in _STATUSES:
+        problems.append(
+            f"{label}: 'status' must be one of {sorted(_STATUSES)}, "
+            f"got {status!r}"
+        )
+    elif status == "failed" and not isinstance(record.get("error"), str):
+        problems.append(f"{label}: failed record lacks its 'error' string")
+    duration = record.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration < 0:
+        problems.append(f"{label}: 'duration_s' must be a non-negative number")
+    run = record.get("run")
+    if not isinstance(run, dict):
+        problems.append(f"{label}: 'run' must be an object")
+    else:
+        for key in _RUN_KEYS:
+            if key not in run:
+                problems.append(f"{label}: run lacks {key!r}")
+    host = record.get("host")
+    if not isinstance(host, dict):
+        problems.append(f"{label}: 'host' must be an object")
+    else:
+        for key in _HOST_KEYS:
+            if key not in host:
+                problems.append(f"{label}: host lacks {key!r}")
+    return problems
+
+
+def validate_file(path: str) -> tuple[list[dict], list[str]]:
+    """Validate one ledger file; returns (parsed records, problems)."""
+    try:
+        raw = read_text_strict(path, remedy=_REMEDY)
+    except LoudLoadError as exc:
+        return [], [str(exc)]
+    records: list[dict] = []
+    problems: list[str] = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if not line.strip():
+            continue
+        label = f"{os.path.basename(path)}:{lineno}"
+        try:
+            record = json.loads(line)
+        except ValueError:
+            problems.append(
+                f"{label}: not valid JSON (truncated append?); {_REMEDY}"
+            )
+            continue
+        file_problems = _validate_record(record, label)
+        problems.extend(file_problems)
+        if not file_problems and isinstance(record, dict):
+            records.append(record)
+    return records, problems
+
+
+def validate_dir(root: str) -> tuple[list[dict], list[str]]:
+    """Validate every ``*.jsonl`` under a ledger directory."""
+    if not os.path.isdir(root):
+        return [], [f"{root} is not a directory"]
+    files = sorted(
+        name for name in os.listdir(root) if name.endswith(".jsonl")
+    )
+    if not files:
+        return [], [f"{root} contains no *.jsonl ledger files"]
+    records: list[dict] = []
+    problems: list[str] = []
+    for name in files:
+        file_records, file_problems = validate_file(os.path.join(root, name))
+        records.extend(file_records)
+        problems.extend(file_problems)
+
+    # Wall-anchored timestamps must be strictly increasing per run.
+    by_run: dict[str, list[float]] = {}
+    for record in records:
+        if record.get("schema") == LEDGER_SCHEMA:
+            by_run.setdefault(record["run_id"], []).append(record["ts"])
+    for run_id, stamps in by_run.items():
+        for a, b in zip(stamps, stamps[1:]):
+            if b <= a:
+                problems.append(
+                    f"run {run_id}: timestamps not strictly increasing "
+                    f"({b} after {a}) — records are not wall-anchored"
+                )
+                break
+    return records, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "ledger", help="ledger directory (or a single .jsonl file)"
+    )
+    args = parser.parse_args(argv)
+
+    if os.path.isfile(args.ledger):
+        records, problems = validate_file(args.ledger)
+        if not problems and not records:
+            problems = [f"{args.ledger} contains no ledger records"]
+    else:
+        records, problems = validate_dir(args.ledger)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    runs = {record["run_id"] for record in records}
+    steps = sorted({record["step"] for record in records})
+    print(
+        f"{args.ledger}: {len(records)} valid step record(s) across "
+        f"{len(runs)} run(s) (steps: {', '.join(steps)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

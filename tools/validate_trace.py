@@ -24,8 +24,14 @@ Exit code 0 when the file passes, 1 with a diagnostic when it does not.
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from loudload import LoudLoadError, load_json_strict  # noqa: E402
 
 #: Event types RunTrace.to_chrome_trace emits.
 _ALLOWED_PH = {"M", "X"}
@@ -102,10 +108,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        with open(args.trace, "r", encoding="utf-8") as handle:
-            trace = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+        trace = load_json_strict(
+            args.trace,
+            remedy="re-run the pipeline with --trace to regenerate it",
+        )
+    except LoudLoadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
 
     required = [p for p in args.phases.split(",") if p]
