@@ -74,7 +74,7 @@ from repro.exec.faultinject import FaultPlan, FaultSpec
 from repro.exec.process import make_backend
 from repro.exec.resilience import ResilienceConfig, RetryPolicy
 from repro.exec.shm import shm_available
-from repro.io.corpus_io import store_corpus
+from repro.io.corpus_io import load_corpus, store_corpus
 from repro.io.parallel_read import corpus_stream
 from repro.io.storage import FsStorage
 from repro.ops.kmeans import KMeansOperator
@@ -92,6 +92,7 @@ __all__ = [
     "bench_plan",
     "bench_cache",
     "bench_oocore",
+    "bench_serve",
     "BENCH_SCHEMA",
     "DEFAULT_OOCORE_FRACTIONS",
     "DEFAULT_WORKER_SWEEP",
@@ -1220,5 +1221,263 @@ def bench_oocore(
             "min_budget_fraction": min(fractions),
             "all_identical": all(r["output_identical"] for r in runs),
             "all_under_budget": all(r["pinned_under_budget"] for r in runs),
+        },
+    )
+
+
+# -- serve: pipeline-as-a-service under load -------------------------------------
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted, non-empty list."""
+    index = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[index]
+
+
+def _serve_daemon(
+    state: str, args: list[str], *, kill_at: str | None = None,
+    timeout_s: float = 300.0,
+) -> int:
+    """Run one daemon incarnation to completion; returns its exit code.
+
+    The daemon runs with ``--idle-exit`` so it drains the pre-submitted
+    load and exits on its own; ``kill_at`` arms the deterministic crash
+    hook (``REPRO_SERVE_KILL_AT``) for the fault-injected scenario.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    if kill_at is not None:
+        env["REPRO_SERVE_KILL_AT"] = kill_at
+    else:
+        env.pop("REPRO_SERVE_KILL_AT", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "run", "--state", state]
+        + args,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout_s,
+    )
+    if proc.returncode not in (0, 86):
+        tail = proc.stderr.strip()[-500:]
+        raise BenchmarkError(
+            f"serve daemon exited {proc.returncode}: {tail}"
+        )
+    return proc.returncode
+
+
+def _serve_scenario_stats(state: str, job_ids: list[str]) -> dict:
+    """Fold the journal into the scenario's load-test measurements."""
+    from repro.serve.journal import read_journal, replay
+
+    records, problems = read_journal(state)
+    views = replay(records)
+    submitted: dict[str, float] = {}
+    done: dict[str, float] = {}
+    done_counts: dict[str, int] = {}
+    for record in records:
+        if record.get("kind") != "job":
+            continue
+        job_id = record["job_id"]
+        if record["event"] == "submitted" and job_id not in submitted:
+            submitted[job_id] = record["ts"]
+        if record["event"] == "done":
+            done[job_id] = record["ts"]
+            done_counts[job_id] = done_counts.get(job_id, 0) + 1
+    latencies = sorted(
+        done[job_id] - submitted[job_id]
+        for job_id in job_ids
+        if job_id in done and job_id in submitted
+    )
+    states = {job_id: views[job_id].state if job_id in views else "lost"
+              for job_id in job_ids}
+    span_s = (
+        max(done.values()) - min(submitted.values())
+        if done and submitted else 0.0
+    )
+    return {
+        "jobs": len(job_ids),
+        "done": sum(1 for s in states.values() if s == "done"),
+        "failed": sum(1 for s in states.values() if s == "failed"),
+        "shed": sum(1 for s in states.values() if s == "shed"),
+        "lost": sum(1 for s in states.values() if s == "lost"),
+        "double_completed": sum(1 for c in done_counts.values() if c > 1),
+        "recovered": sum(
+            1 for job_id in job_ids
+            if job_id in views and "requeued" in views[job_id].events
+        ),
+        "latency_p50_s": _percentile(latencies, 0.50) if latencies else None,
+        "latency_p95_s": _percentile(latencies, 0.95) if latencies else None,
+        "throughput_jobs_per_s": (len(done) / span_s) if span_s > 0 else None,
+        "journal_problems": len(problems),
+        "digests": sorted({
+            views[job_id].digest for job_id in job_ids
+            if job_id in views and views[job_id].digest
+        }),
+    }
+
+
+def bench_serve(
+    profile: str = "mix",
+    scale: float = 0.01,
+    n_jobs: int = 8,
+    executors: int = 2,
+    workers: int = 2,
+    backend: str = "threads",
+    repeats: int = 1,
+    seed: int = 0,
+    kmeans_iters: int = 5,
+    shed_depth: int | None = None,
+    fault: bool = True,
+) -> dict:
+    """Load-test the serve daemon and prove its reliability envelope.
+
+    Three scenarios drive ``n_jobs`` concurrent submissions over one
+    corpus against a fresh state directory each:
+
+    * ``steady`` — depth budget >= the load; every job must complete
+      with the reference digest. Records throughput and latency
+      percentiles (submitted → done, from journal timestamps).
+    * ``backpressure`` — the queue budget is squeezed to
+      ``shed_depth`` (default ``max(1, n_jobs // 4)``), so admission
+      control must shed the overflow with recorded reasons while every
+      *admitted* job still completes bit-identically.
+    * ``crash-recovery`` (``fault=True``) — the daemon is killed at the
+      ``running`` journal append mid-load, then restarted over the same
+      state directory. No job may be lost or double-completed: every
+      job finishes exactly once with the reference digest, and the
+      recovered (requeued) count is reported.
+
+    The reference digest comes from one in-process run of the same
+    pipeline — the serve path must reproduce one-shot execution bit for
+    bit. ``repeats`` is accepted for CLI uniformity; the scenarios are
+    single-shot by design (a load test, not a best-of timing sweep).
+    """
+    if profile not in _PROFILES:
+        raise BenchmarkError(f"unknown profile {profile!r}")
+    from repro.bench.oocore_child import output_digest
+    from repro.serve.transport import submit_job
+
+    corpus = generate_corpus(_PROFILES[profile], scale=scale, seed=seed)
+
+    root = tempfile.mkdtemp(prefix="repro_serve_bench_")
+    runs: list[dict] = []
+    try:
+        corpus_dir = os.path.join(root, "corpus")
+        store_corpus(FsStorage(corpus_dir), corpus)
+        # The reference must match what jobs actually see: the corpus
+        # round-tripped through storage (disk order, not generation
+        # order) and the same parallel backend kind — the serial path
+        # assembles grains in a different order, so hashing it would
+        # flag a spurious mismatch.
+        stored = load_corpus(FsStorage(corpus_dir), "", name="reference")
+        reference_backend = make_backend(backend, workers)
+        try:
+            reference = run_pipeline(
+                stored,
+                backend=reference_backend,
+                tfidf=TfIdfOperator(),
+                kmeans=KMeansOperator(max_iters=kmeans_iters),
+            )
+        finally:
+            reference_backend.close()
+        reference_digest = output_digest(reference)
+        daemon_args = [
+            "--backend", backend,
+            "--workers", str(workers),
+            "--executors", str(executors),
+            "--idle-exit", "1.0",
+            "--drain-deadline", "60",
+        ]
+
+        def scenario(
+            label: str, *, depth: int, kill_at: str | None
+        ) -> dict:
+            state = os.path.join(root, f"state_{label}")
+            job_ids = [
+                submit_job(state, {
+                    "input": corpus_dir,
+                    "iters": kmeans_iters,
+                    "job_id": f"{label}-{index}",
+                })
+                for index in range(n_jobs)
+            ]
+            t0 = time.perf_counter()
+            crashed = False
+            if kill_at is not None:
+                code = _serve_daemon(
+                    state, daemon_args + ["--max-depth", str(depth)],
+                    kill_at=kill_at,
+                )
+                crashed = code == 86
+            _serve_daemon(state, daemon_args + ["--max-depth", str(depth)])
+            total_s = time.perf_counter() - t0
+            stats = _serve_scenario_stats(state, job_ids)
+            digest_ok = stats["digests"] in ([], [reference_digest])
+            exactly_once = (
+                stats["lost"] == 0 and stats["double_completed"] == 0
+            )
+            expected_done = stats["jobs"] - stats["shed"] - stats["failed"]
+            run = {
+                "scenario": label,
+                "total_s": total_s,
+                "crash_injected": kill_at,
+                "crashed": crashed,
+                "max_depth": depth,
+                "output_identical": digest_ok,
+                "exactly_once": exactly_once,
+                "ok": (
+                    digest_ok
+                    and exactly_once
+                    and stats["journal_problems"] == 0
+                    and stats["done"] == expected_done
+                    and (kill_at is None or crashed)
+                ),
+            }
+            run.update(stats)
+            return run
+
+        runs.append(scenario("steady", depth=n_jobs, kill_at=None))
+        depth = shed_depth or max(1, n_jobs // 4)
+        runs.append(scenario("backpressure", depth=depth, kill_at=None))
+        if fault:
+            runs.append(
+                scenario("crash-recovery", depth=n_jobs, kill_at="running")
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    steady = runs[0]
+    return _envelope(
+        "serve", profile, scale, len(corpus), repeats, kmeans_iters,
+        config={
+            "backend": backend,
+            "workers": workers,
+            "executors": executors,
+            "n_jobs": n_jobs,
+            "seed": seed,
+            "fault": fault,
+        },
+        runs=runs,
+        serve_summary={
+            "reference_digest": reference_digest,
+            "jobs_per_scenario": n_jobs,
+            "latency_p50_s": steady["latency_p50_s"],
+            "latency_p95_s": steady["latency_p95_s"],
+            "throughput_jobs_per_s": steady["throughput_jobs_per_s"],
+            "shed": sum(r["shed"] for r in runs),
+            "recovered": sum(r["recovered"] for r in runs),
+            "lost": sum(r["lost"] for r in runs),
+            "double_completed": sum(r["double_completed"] for r in runs),
+            "all_ok": all(r["ok"] for r in runs),
         },
     )

@@ -85,9 +85,11 @@ class PipelineCache:
         store: CacheStore | str,
         shard_docs: int = cache_keys.DEFAULT_SHARD_DOCS,
         max_bytes: int | None = None,
+        max_age_s: float | None = None,
     ) -> None:
         if isinstance(store, str):
-            store = CacheStore(store, max_bytes=max_bytes)
+            store = CacheStore(store, max_bytes=max_bytes,
+                               max_age_s=max_age_s)
         self.store = store
         self.shard_docs = max(1, shard_docs)
 

@@ -23,6 +23,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 
 from repro.errors import CacheError
 from repro.io.atomic import atomic_write_json
@@ -34,17 +35,33 @@ _OBJECTS_DIR = "objects"
 
 
 class CacheStore:
-    """Keyed pickle store with bounded size and LRU eviction."""
+    """Keyed pickle store with bounded size, LRU eviction, and TTL.
 
-    def __init__(self, root: str, max_bytes: int | None = None) -> None:
+    ``max_age_s`` is honored *at lookup*: an entry stored longer ago
+    than the budget demotes to a miss and its files are deleted — stale
+    results must never be served, but nothing pays an expiry sweep on
+    the hot path. ``invalidate`` is the explicit form (one key or the
+    whole store), the surface behind ``repro cache invalidate``.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+    ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise CacheError(f"max_bytes must be positive, got {max_bytes}")
+        if max_age_s is not None and max_age_s <= 0:
+            raise CacheError(f"max_age_s must be positive, got {max_age_s}")
         self.root = root
         self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
         self._objects = os.path.join(root, _OBJECTS_DIR)
         os.makedirs(self._objects, exist_ok=True)
         self._clock = 0
-        #: key -> {"bytes": int, "seconds": float, "used": int}
+        #: key -> {"bytes": int, "seconds": float, "used": int,
+        #: "stored_at": float (epoch seconds)}
         self._index: dict[str, dict] = {}
         self._load_index()
 
@@ -65,6 +82,13 @@ class CacheStore:
                     "bytes": int(meta["bytes"]),
                     "seconds": float(meta.get("seconds", 0.0)),
                     "used": int(meta.get("used", 0)),
+                    # Pre-TTL indexes lack stored_at; the payload file's
+                    # mtime is the honest fallback (entries are written
+                    # once, so mtime is the store time).
+                    "stored_at": float(
+                        meta.get("stored_at")
+                        or self._mtime(key)
+                    ),
                 }
                 for key, meta in entries.items()
             }
@@ -85,8 +109,13 @@ class CacheStore:
                     size = os.path.getsize(path)
                 except OSError:
                     continue
+                try:
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    mtime = time.time()
                 self._index[name[: -len(".pkl")]] = {
                     "bytes": size, "seconds": 0.0, "used": 0,
+                    "stored_at": mtime,
                 }
         # Entries whose payload file vanished are unusable.
         self._index = {
@@ -109,6 +138,18 @@ class CacheStore:
             raise CacheError(f"invalid cache key {key!r}")
         return os.path.join(self._objects, key + ".pkl")
 
+    def _mtime(self, key: str) -> float:
+        try:
+            return os.path.getmtime(self._object_path(key))
+        except (OSError, CacheError):
+            return time.time()
+
+    def _expired(self, meta: dict) -> bool:
+        if self.max_age_s is None:
+            return False
+        stored_at = float(meta.get("stored_at", 0.0))
+        return (time.time() - stored_at) > self.max_age_s
+
     def __len__(self) -> int:
         return len(self._index)
 
@@ -127,6 +168,9 @@ class CacheStore:
         """
         meta = self._index.get(key)
         if meta is None:
+            return None
+        if self._expired(meta):
+            self.delete(key)
             return None
         try:
             with open(self._object_path(key), "rb") as handle:
@@ -164,6 +208,7 @@ class CacheStore:
         self._clock += 1
         self._index[key] = {
             "bytes": nbytes, "seconds": seconds, "used": self._clock,
+            "stored_at": time.time(),
         }
         self._evict()
         return nbytes
@@ -174,6 +219,33 @@ class CacheStore:
             os.unlink(self._object_path(key))
         except OSError:
             pass
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Delete one entry (or every entry); returns how many fell.
+
+        The explicit-invalidation path behind ``repro cache
+        invalidate``; the index is flushed so a crash right after still
+        sees the deletion.
+        """
+        victims = [key] if key is not None else list(self._index)
+        dropped = 0
+        for victim in victims:
+            if victim in self._index:
+                self.delete(victim)
+                dropped += 1
+        self.flush()
+        return dropped
+
+    def purge_expired(self) -> int:
+        """Delete every entry older than ``max_age_s``; returns the count."""
+        victims = [
+            key for key, meta in self._index.items() if self._expired(meta)
+        ]
+        for victim in victims:
+            self.delete(victim)
+        if victims:
+            self.flush()
+        return len(victims)
 
     def _evict(self) -> None:
         """Drop least-recently-used entries until under ``max_bytes``.

@@ -12,6 +12,11 @@ or fused in one process, with the simulated machine's timing report::
     python -m repro workflow --input data/corpus --mode merged --threads 16
     python -m repro plan     --input data/corpus
 
+or as a long-lived service with a durable job queue (``docs/serving.md``)::
+
+    python -m repro serve run    --state data/serve
+    python -m repro serve submit --state data/serve --input data/corpus --wait
+
 All commands operate on real files through :class:`repro.io.FsStorage`,
 so intermediates (the ARFF scores) can be inspected or loaded into WEKA.
 """
@@ -19,8 +24,10 @@ so intermediates (the ARFF scores) can be inspected or loaded into WEKA.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from repro.core.pipeline import run_pipeline
 from repro.errors import ConfigurationError
@@ -251,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict least-recently-used cache entries beyond this size",
     )
     pipe.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="treat cache entries stored longer ago than this as misses "
+        "(expired entries are deleted at lookup)",
+    )
+    pipe.add_argument(
         "--memory-budget-mb", type=float, default=None, metavar="MB",
         help="bound the TF/IDF matrix's resident footprint: score tiles "
         "spill to disk and phases stream them chunk-at-a-time, "
@@ -350,6 +362,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--input", required=True, help="corpus directory")
     analyze.add_argument("--top", type=int, default=10)
+
+    serve = sub.add_parser(
+        "serve",
+        help="pipeline-as-a-service: durable job queue with admission "
+        "control, warm pools, and crash recovery (see docs/serving.md)",
+    )
+    ssub = serve.add_subparsers(dest="action", required=True)
+
+    def _state_arg(p):
+        p.add_argument("--state", required=True, metavar="DIR",
+                       help="serve state directory (journal, inbox, "
+                       "results, heartbeat)")
+
+    srun = ssub.add_parser("run", help="run the daemon (blocks)")
+    _state_arg(srun)
+    srun.add_argument("--backend", choices=["sequential", "threads",
+                                            "processes"], default="threads",
+                      help="default execution backend for jobs")
+    srun.add_argument("--workers", type=int, default=2)
+    srun.add_argument("--executors", type=int, default=1,
+                      help="concurrent jobs (one warm pool each)")
+    srun.add_argument("--max-depth", type=int, default=8,
+                      help="admission: queued-job budget before shedding")
+    srun.add_argument("--cost-budget-s", type=float, default=None,
+                      help="admission: shed once queued predicted seconds "
+                      "exceed this (needs calibration to price jobs)")
+    srun.add_argument("--job-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-job deadline (phase-granular)")
+    srun.add_argument("--max-attempts", type=int, default=3,
+                      help="run attempts per job before it is failed")
+    srun.add_argument("--max-pool-losses", type=int, default=3,
+                      help="worker-pool deaths before the circuit breaker "
+                      "trips to drain mode")
+    srun.add_argument("--drain-deadline", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="grace for in-flight jobs on SIGTERM/drain")
+    srun.add_argument("--idle-exit", type=float, default=None,
+                      metavar="SECONDS",
+                      help="exit after this long with nothing to do "
+                      "(test/CI convenience; default: run forever)")
+    srun.add_argument("--calibration", default=None, metavar="PATH",
+                      help="calibration store to load/observe/save "
+                      "(default: <state>/calibration.json)")
+    srun.add_argument("--ledger", default=None, metavar="DIR",
+                      help="run-ledger directory every job feeds "
+                      "(default: <state>/ledger)")
+    srun.add_argument("--orphan-policy", choices=["retry", "fail"],
+                      default="retry",
+                      help="what recovery does with jobs orphaned mid-run")
+
+    ssubmit = ssub.add_parser("submit", help="submit one job")
+    _state_arg(ssubmit)
+    ssubmit.add_argument("--input", required=True, help="corpus directory")
+    ssubmit.add_argument("--clusters", type=int, default=8)
+    ssubmit.add_argument("--iters", type=int, default=10)
+    ssubmit.add_argument("--seed", type=int, default=0)
+    ssubmit.add_argument("--min-df", type=int, default=1)
+    ssubmit.add_argument("--backend", default=None,
+                         choices=["sequential", "threads", "processes"],
+                         help="override the daemon's default backend")
+    ssubmit.add_argument("--workers", type=int, default=None)
+    ssubmit.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS", help="per-job deadline")
+    ssubmit.add_argument("--job-id", default=None,
+                         help="explicit id (idempotent resubmission)")
+    ssubmit.add_argument("--wait", action="store_true",
+                         help="block until the job reaches a terminal "
+                         "state and report it")
+    ssubmit.add_argument("--wait-timeout", type=float, default=60.0,
+                         metavar="SECONDS")
+
+    sstatus = ssub.add_parser("status", help="job states from the journal")
+    _state_arg(sstatus)
+    sstatus.add_argument("--job", default=None, help="one job id")
+    sstatus.add_argument("--json", action="store_true")
+
+    sdrain = ssub.add_parser(
+        "drain", help="ask the daemon to finish in-flight jobs and exit"
+    )
+    _state_arg(sdrain)
+
+    cache = sub.add_parser(
+        "cache", help="manage a result-cache directory (docs/caching.md)"
+    )
+    csub = cache.add_subparsers(dest="action", required=True)
+    cinv = csub.add_parser(
+        "invalidate", help="delete cache entries explicitly"
+    )
+    cinv.add_argument("--cache", required=True, metavar="DIR",
+                      help="cache directory (as passed to pipeline --cache)")
+    group = cinv.add_mutually_exclusive_group(required=True)
+    group.add_argument("--key", default=None, help="delete one entry")
+    group.add_argument("--all", action="store_true", dest="all_entries",
+                       help="delete every entry")
+    group.add_argument("--expired", type=float, default=None,
+                       metavar="MAX_AGE_S",
+                       help="delete entries stored longer ago than this")
 
     return parser
 
@@ -472,13 +582,16 @@ def _cli_cache(args):
     if getattr(args, "cache", None) is None:
         if getattr(args, "cache_max_mb", None) is not None:
             raise ConfigurationError("--cache-max-mb requires --cache DIR")
+        if getattr(args, "cache_ttl", None) is not None:
+            raise ConfigurationError("--cache-ttl requires --cache DIR")
         return None
     max_bytes = (
         int(args.cache_max_mb * 1e6)
         if getattr(args, "cache_max_mb", None) is not None
         else None
     )
-    return PipelineCache(args.cache, max_bytes=max_bytes)
+    return PipelineCache(args.cache, max_bytes=max_bytes,
+                         max_age_s=getattr(args, "cache_ttl", None))
 
 
 def _cmd_pipeline(args) -> int:
@@ -803,6 +916,143 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import daemon as serve_daemon
+    from repro.serve import transport as serve_transport
+
+    if args.action == "run":
+        config = serve_daemon.ServeConfig(
+            state=args.state,
+            backend=args.backend,
+            workers=args.workers,
+            executors=args.executors,
+            max_depth=args.max_depth,
+            cost_budget_s=args.cost_budget_s,
+            job_timeout_s=args.job_timeout,
+            max_attempts=args.max_attempts,
+            max_pool_losses=args.max_pool_losses,
+            drain_deadline_s=args.drain_deadline,
+            idle_exit_s=args.idle_exit,
+            calibration=args.calibration,
+            ledger=args.ledger,
+            orphan_policy=args.orphan_policy,
+        )
+        daemon = serve_daemon.ServeDaemon(config)
+        code = daemon.run()
+        stats = daemon.stats.as_dict()
+        print(
+            f"serve: drained ({daemon._drain_reason or 'stop'}) — "
+            f"{stats['done']} done, {stats['failed']} failed, "
+            f"{stats['shed']} shed, {stats['recovered']} recovered"
+        )
+        return code
+
+    if args.action == "submit":
+        spec = {
+            "input": args.input,
+            "clusters": args.clusters,
+            "iters": args.iters,
+            "seed": args.seed,
+            "min_df": args.min_df,
+        }
+        if args.backend:
+            spec["backend"] = args.backend
+        if args.workers is not None:
+            spec["workers"] = args.workers
+        if args.timeout is not None:
+            spec["timeout_s"] = args.timeout
+        if args.job_id:
+            spec["job_id"] = args.job_id
+        job_id = serve_transport.submit_job(args.state, spec)
+        print(f"submitted {job_id}")
+        if not args.wait:
+            return 0
+        deadline = time.monotonic() + args.wait_timeout
+        while time.monotonic() < deadline:
+            view = serve_transport.job_status(args.state, job_id)
+            if view is not None and view.terminal:
+                detail = view.digest or view.error or view.reason or ""
+                print(f"{job_id}: {view.state} {detail}".rstrip())
+                return 0 if view.state == "done" else 1
+            time.sleep(0.1)
+        print(f"{job_id}: still not terminal after {args.wait_timeout}s",
+              file=sys.stderr)
+        return 1
+
+    if args.action == "status":
+        jobs = serve_transport.job_status(args.state)
+        heartbeat = serve_transport.read_heartbeat(args.state)
+        if args.job is not None:
+            view = jobs.get(args.job)
+            if view is None:
+                print(f"error: unknown job {args.job}", file=sys.stderr)
+                return 1
+            jobs = {args.job: view}
+        if args.json:
+            payload = {
+                "heartbeat": heartbeat,
+                "jobs": {
+                    job_id: {
+                        "state": view.state,
+                        "attempt": view.attempt,
+                        "digest": view.digest,
+                        "total_s": view.total_s,
+                        "error": view.error,
+                        "reason": view.reason,
+                        "events": view.events,
+                    }
+                    for job_id, view in jobs.items()
+                },
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if heartbeat:
+            age = time.time() - heartbeat.get("ts", 0.0)
+            print(
+                f"daemon: pid {heartbeat.get('pid')} "
+                f"{heartbeat.get('state')} (beat {age:.1f}s ago)"
+            )
+        else:
+            print("daemon: no heartbeat")
+        for job_id in sorted(jobs, key=lambda j: jobs[j].submitted_ts):
+            view = jobs[job_id]
+            detail = view.digest or view.error or view.reason or ""
+            if detail:
+                detail = f"  {str(detail)[:48]}"
+            print(f"{job_id}  {view.state:9s} attempt={view.attempt}{detail}")
+        return 0
+
+    # drain
+    serve_transport.request_drain(args.state)
+    print(f"drain requested for {args.state}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache.store import CacheStore
+
+    if not os.path.isdir(args.cache):
+        print(f"error: {args.cache} is not a cache directory",
+              file=sys.stderr)
+        return 1
+    if args.expired is not None:
+        store = CacheStore(args.cache, max_age_s=args.expired)
+        dropped = store.purge_expired()
+        print(f"invalidated {dropped} expired entr"
+              f"{'y' if dropped == 1 else 'ies'}")
+        return 0
+    store = CacheStore(args.cache)
+    if args.all_entries:
+        dropped = store.invalidate()
+    else:
+        if args.key not in store:
+            print(f"error: no cache entry {args.key!r}", file=sys.stderr)
+            return 1
+        dropped = store.invalidate(args.key)
+    print(f"invalidated {dropped} entr{'y' if dropped == 1 else 'ies'}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "tfidf": _cmd_tfidf,
@@ -812,6 +1062,8 @@ _COMMANDS = {
     "analytics": _cmd_analytics,
     "plan": _cmd_plan,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 

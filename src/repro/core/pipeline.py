@@ -174,6 +174,7 @@ def run_pipeline(
     cache: PipelineCache | str | None = None,
     memory_budget: int | None = None,
     ledger: RunLedger | str | None = None,
+    observe: bool = True,
 ) -> RealRunResult:
     """Run the fused workflow for real and time its phases.
 
@@ -238,6 +239,12 @@ def run_pipeline(
     persistent run ledger — including a ``failed`` record for the step
     that raised, when one does — and notes the append on
     ``result.ledger``. See ``docs/ledger.md``.
+
+    ``observe`` (default on) lets a ``plan="auto"`` run feed its
+    measured span/IPC totals back into the calibration store when it
+    finishes — embedded callers sharpen planning exactly like the CLI
+    does. Pass ``observe=False`` for runs that must not move the
+    constants (A/B comparisons against a frozen store).
     """
     if plan is not None:
         if backend is not None:
@@ -248,6 +255,7 @@ def run_pipeline(
             corpus, plan, tfidf=tfidf, kmeans=kmeans,
             trace=trace, degrade=degrade, calibration=calibration,
             cache=cache, memory_budget=memory_budget, ledger=ledger,
+            observe=observe,
         )
     if trace and backend is None:
         raise ConfigurationError("tracing requires an execution backend")
@@ -518,6 +526,7 @@ def _run_planned(
     cache: PipelineCache | str | None = None,
     memory_budget: int | None = None,
     ledger: RunLedger | str | None = None,
+    observe: bool = True,
 ) -> RealRunResult:
     """Execute a :class:`RealPlan`, phase by phase, on its chosen backends."""
     kmeans = kmeans or KMeansOperator()
@@ -835,7 +844,7 @@ def _run_planned(
                 "memory_budget": memory_budget,
             },
         )
-    if observe_store is not None:
+    if observe_store is not None and observe:
         # Keep learning from whatever executed: cached phases ran no
         # tasks (no spans, no IPC bytes), so their constants are left
         # untouched; executed phases sharpen the model for the next plan.

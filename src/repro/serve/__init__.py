@@ -1,0 +1,46 @@
+"""Resilient pipeline-as-a-service: durable queue, admission, recovery.
+
+``repro.serve`` turns the one-shot pipeline into a long-lived service:
+a daemon (:class:`~repro.serve.daemon.ServeDaemon`) watches a state
+directory for job submissions, multiplexes them over shared warm worker
+pools, and records every lifecycle transition in a durable journal
+(:class:`~repro.serve.journal.JobJournal`) so a killed daemon restarted
+over the same state directory recovers queued and orphaned jobs exactly
+once. See ``docs/serving.md`` for the state machine, the admission /
+backpressure policy, and the crash-recovery proof.
+"""
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.journal import (
+    JOURNAL_FILE,
+    JOURNAL_SCHEMA,
+    JobJournal,
+    JobView,
+    JournalCorruptionWarning,
+    read_journal,
+    replay,
+)
+from repro.serve.transport import (
+    job_status,
+    read_heartbeat,
+    read_result,
+    request_drain,
+    submit_job,
+)
+
+__all__ = [
+    "JOURNAL_FILE",
+    "JOURNAL_SCHEMA",
+    "JobJournal",
+    "JobView",
+    "JournalCorruptionWarning",
+    "ServeConfig",
+    "ServeDaemon",
+    "job_status",
+    "read_heartbeat",
+    "read_result",
+    "read_journal",
+    "replay",
+    "request_drain",
+    "submit_job",
+]

@@ -1,0 +1,300 @@
+"""Durable job journal: the service's single source of truth.
+
+Every lifecycle transition of every job — ``submitted`` → ``admitted``
+(or ``shed``) → ``running`` → ``done``/``failed``, plus ``requeued`` for
+recovered work — is one JSONL record appended to
+``<state dir>/journal.jsonl`` with a single ``O_APPEND`` write followed
+by ``fsync``, the same durability discipline as
+:class:`repro.obs.ledger.RunLedger`: concurrent writers never interleave
+mid-record, and a crash can at worst tear the final line, which
+:func:`read_journal` skips *loudly* without failing replay.
+
+The ``done`` append is the commit point for exactly-once completion: a
+restarted daemon re-runs only jobs without a terminal record, and
+because pipeline runs are deterministic, a re-run after a crash between
+"result written" and "done appended" reproduces the result bit for bit.
+:func:`replay` folds the records into per-job current state; the strict
+CI stance (every transition legal, exactly one terminal record) lives in
+``tools/validate_journal.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs.ledger import WallAnchor
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JOURNAL_FILE",
+    "JOB_EVENTS",
+    "DAEMON_EVENTS",
+    "TERMINAL_EVENTS",
+    "LEGAL_TRANSITIONS",
+    "JournalCorruptionWarning",
+    "JobJournal",
+    "JobView",
+    "read_journal",
+    "replay",
+]
+
+#: Version stamped on every record; readers skip newer schemas loudly.
+JOURNAL_SCHEMA = 1
+
+#: The append-only journal file inside a serve state directory.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Job lifecycle events (``kind: "job"`` records).
+JOB_EVENTS = (
+    "submitted",   # accepted from the inbox; spec recorded
+    "admitted",    # passed admission control into the bounded queue
+    "shed",        # rejected by admission control (terminal), with reason
+    "running",     # an executor picked the job up (attempt recorded)
+    "requeued",    # recovered orphan / pool loss sent back to the queue
+    "done",        # completed; digest + timings recorded (terminal)
+    "failed",      # raised / timed out / orphan budget spent (terminal)
+)
+
+#: Daemon lifecycle events (``kind: "daemon"`` records) — bookkeeping
+#: for operators; replay ignores them.
+DAEMON_EVENTS = ("start", "recovered", "breaker-open", "drain", "shutdown")
+
+#: Events after which a job must never run again.
+TERMINAL_EVENTS = frozenset({"shed", "done", "failed"})
+
+#: state -> events legally appendable from it (``None`` = no prior
+#: record). ``validate_journal`` enforces this; ``replay`` tolerates
+#: damage because the reader must never die on a torn journal.
+LEGAL_TRANSITIONS: dict[str | None, frozenset] = {
+    None: frozenset({"submitted"}),
+    "submitted": frozenset({"admitted", "shed"}),
+    "admitted": frozenset({"running", "requeued", "failed"}),
+    "running": frozenset({"done", "failed", "requeued"}),
+    "requeued": frozenset({"running", "requeued", "failed"}),
+}
+
+#: Minimum gap between consecutive journal timestamps (see
+#: ``repro.obs.ledger._TS_STEP`` for the rounding argument).
+_TS_STEP = 1e-6
+
+#: Keys every schema-1 journal record must carry.
+_REQUIRED_KEYS = ("schema", "kind", "event", "ts", "pid")
+
+
+class JournalCorruptionWarning(UserWarning):
+    """A journal line was skipped (truncated write or foreign content)."""
+
+
+class JobJournal:
+    """Writer for one journal file (created on first append).
+
+    Append methods are thread-safe (executor threads and the admission
+    loop share one journal) and each performs exactly one ``O_APPEND``
+    write + ``fsync``, so a SIGKILL can only tear the final line.
+    Timestamps are wall-anchored and strictly increasing across the
+    writer's lifetime — the ordering replay sorts by.
+    """
+
+    def __init__(self, root: str) -> None:
+        if not root:
+            raise ConfigurationError("journal directory must be a non-empty path")
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.anchor = WallAnchor.capture()
+        self.last_append_s = 0.0
+        self._lock = threading.Lock()
+        self._last_ts = 0.0
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.root, JOURNAL_FILE)
+
+    # -- writing -----------------------------------------------------------------
+
+    def _stamp(self) -> float:
+        ts = max(self.anchor.now(), self._last_ts + _TS_STEP)
+        self._last_ts = ts
+        return ts
+
+    def _append(self, record: dict) -> dict:
+        t0 = time.perf_counter()
+        with self._lock:
+            record = dict(record)
+            record["schema"] = JOURNAL_SCHEMA
+            record["ts"] = self._stamp()
+            record["pid"] = os.getpid()
+            payload = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self.last_append_s = time.perf_counter() - t0
+        return record
+
+    def job_event(self, job_id: str, event: str, **fields) -> dict:
+        """Append one job transition; returns the record as written."""
+        if event not in JOB_EVENTS:
+            raise ConfigurationError(
+                f"unknown job event {event!r}; expected one of {JOB_EVENTS}"
+            )
+        if not job_id:
+            raise ConfigurationError("job_id must be a non-empty string")
+        record = {"kind": "job", "job_id": job_id, "event": event}
+        record.update(fields)
+        return self._append(record)
+
+    def daemon_event(self, event: str, **fields) -> dict:
+        """Append one daemon lifecycle record (start/recovered/…)."""
+        if event not in DAEMON_EVENTS:
+            raise ConfigurationError(
+                f"unknown daemon event {event!r}; expected one of {DAEMON_EVENTS}"
+            )
+        record = {"kind": "daemon", "event": event}
+        record.update(fields)
+        return self._append(record)
+
+
+# -- reading ---------------------------------------------------------------------
+
+
+@dataclass
+class JobView:
+    """Current state of one job, folded from its journal records."""
+
+    job_id: str
+    state: str = "submitted"
+    spec: dict = field(default_factory=dict)
+    attempt: int = 0
+    submitted_ts: float = 0.0
+    updated_ts: float = 0.0
+    error: str | None = None
+    reason: str | None = None
+    digest: str | None = None
+    total_s: float | None = None
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_EVENTS
+
+
+def _loud(problems: list[str], message: str) -> None:
+    problems.append(message)
+    warnings.warn(message, JournalCorruptionWarning, stacklevel=3)
+
+
+def read_journal(root: str) -> tuple[list[dict], list[str]]:
+    """Load every journal record under a state directory.
+
+    Returns ``(records, problems)``: records sorted by ``ts``; problems
+    describing every line skipped *loudly* — corrupt/truncated (a torn
+    final append), newer-schema, or missing required keys. A missing
+    directory or file is an empty history. Mirrors
+    :func:`repro.obs.ledger.read_ledger`.
+    """
+    records: list[dict] = []
+    problems: list[str] = []
+    path = os.path.join(root, JOURNAL_FILE)
+    if not os.path.isfile(path):
+        return records, problems
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        _loud(problems, f"{path}: unreadable journal file skipped: {exc}")
+        return records, problems
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            _loud(
+                problems,
+                f"{path}:{lineno}: skipping corrupt journal line "
+                f"(truncated append? delete the damaged tail to silence "
+                f"this warning)",
+            )
+            continue
+        if not isinstance(record, dict):
+            _loud(problems, f"{path}:{lineno}: skipping non-object journal line")
+            continue
+        schema = record.get("schema")
+        if not isinstance(schema, int) or schema < 1:
+            _loud(
+                problems,
+                f"{path}:{lineno}: skipping record without an integer "
+                f"'schema' (not a journal record?)",
+            )
+            continue
+        if schema > JOURNAL_SCHEMA:
+            _loud(
+                problems,
+                f"{path}:{lineno}: skipping schema-{schema} record written "
+                f"by a newer version (this reader understands schema <= "
+                f"{JOURNAL_SCHEMA})",
+            )
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in record]
+        if missing:
+            _loud(
+                problems,
+                f"{path}:{lineno}: skipping record lacking required "
+                f"key(s) {', '.join(missing)}",
+            )
+            continue
+        records.append(record)
+    records.sort(key=lambda r: r["ts"])
+    return records, problems
+
+
+def replay(records: list[dict]) -> dict[str, JobView]:
+    """Fold journal records into per-job current state.
+
+    Tolerant by design (the strict stance lives in
+    ``tools/validate_journal.py``): an out-of-order or repeated event
+    still moves the job to that event's state — after a crash the
+    journal is the only truth, and the daemon must be able to recover
+    from whatever survived. A terminal state is sticky: once ``done``,
+    ``failed``, or ``shed`` is seen, later records cannot resurrect the
+    job, which is what makes replay the exactly-once gate.
+    """
+    jobs: dict[str, JobView] = {}
+    for record in records:
+        if record.get("kind") != "job":
+            continue
+        event = record.get("event")
+        job_id = record.get("job_id")
+        if event not in JOB_EVENTS or not isinstance(job_id, str) or not job_id:
+            continue
+        view = jobs.get(job_id)
+        if view is None:
+            view = jobs[job_id] = JobView(
+                job_id=job_id, submitted_ts=record["ts"]
+            )
+        view.events.append(event)
+        if view.terminal:
+            continue  # terminal is forever
+        view.state = event
+        view.updated_ts = record["ts"]
+        view.attempt = max(view.attempt, int(record.get("attempt", 0) or 0))
+        if event == "submitted" and isinstance(record.get("spec"), dict):
+            view.spec = record["spec"]
+            view.submitted_ts = record["ts"]
+        if event == "failed":
+            view.error = str(record.get("error", ""))
+        if event in ("shed", "requeued"):
+            view.reason = str(record.get("reason", ""))
+        if event == "done":
+            view.digest = record.get("digest")
+            total = record.get("total_s")
+            view.total_s = float(total) if total is not None else None
+    return jobs

@@ -1,0 +1,193 @@
+"""Filesystem transport between serve clients and the daemon.
+
+No sockets, no new dependencies: the state directory *is* the wire.
+
+::
+
+    <state dir>/
+      journal.jsonl       # durable job journal (repro.serve.journal)
+      heartbeat.json      # {pid, ts, seq, state} — liveness beacon
+      daemon.lock         # {pid, started} — single-daemon guard
+      inbox/<job>.json    # one atomic file per submission
+      results/<job>.json  # one atomic file per completed job
+      control/drain       # marker: drain in-flight work, then exit
+      ledger/             # per-phase RunLedger records of every job run
+
+Every file a client or the daemon publishes is written to a temp name
+and ``os.replace``\\ d into place, so the other side can never observe a
+half-written submission or result. Submissions are idempotent by
+``job_id``: the daemon deletes the inbox file only *after* the durable
+``submitted`` journal append, and a resubmitted or crash-surviving inbox
+file for a known job id is dropped as a duplicate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.errors import ConfigurationError
+from repro.io.atomic import atomic_write_json
+from repro.serve.journal import JobView, read_journal, replay
+
+__all__ = [
+    "INBOX_DIR",
+    "RESULTS_DIR",
+    "CONTROL_DIR",
+    "HEARTBEAT_FILE",
+    "LOCK_FILE",
+    "new_job_id",
+    "submit_job",
+    "read_result",
+    "job_status",
+    "request_drain",
+    "drain_requested",
+    "write_heartbeat",
+    "read_heartbeat",
+]
+
+INBOX_DIR = "inbox"
+RESULTS_DIR = "results"
+CONTROL_DIR = "control"
+HEARTBEAT_FILE = "heartbeat.json"
+LOCK_FILE = "daemon.lock"
+DRAIN_MARKER = "drain"
+
+_COUNTER = [0]
+
+
+def new_job_id() -> str:
+    """Collision-resistant id: wall ms + pid + counter + random suffix."""
+    _COUNTER[0] += 1
+    return (
+        f"job-{int(time.time() * 1e3):013d}-{os.getpid()}-"
+        f"{_COUNTER[0]}-{os.urandom(3).hex()}"
+    )
+
+
+def _check_job_id(job_id: str) -> str:
+    if not job_id or os.sep in job_id or job_id.startswith("."):
+        raise ConfigurationError(f"invalid job id {job_id!r}")
+    return job_id
+
+
+def inbox_path(state_dir: str, job_id: str) -> str:
+    return os.path.join(state_dir, INBOX_DIR, _check_job_id(job_id) + ".json")
+
+
+def result_path(state_dir: str, job_id: str) -> str:
+    return os.path.join(state_dir, RESULTS_DIR, _check_job_id(job_id) + ".json")
+
+
+def submit_job(state_dir: str, spec: dict) -> str:
+    """Publish one job submission; returns its ``job_id``.
+
+    ``spec`` needs at least ``input`` (a corpus directory). The file
+    lands atomically in the inbox; the daemon journals ``submitted``
+    before deleting it, so a submission can never be lost to a crash —
+    at worst it is re-read and deduplicated by id.
+    """
+    if not isinstance(spec, dict) or not spec.get("input"):
+        raise ConfigurationError(
+            "job spec must be an object with an 'input' corpus directory"
+        )
+    spec = dict(spec)
+    job_id = _check_job_id(str(spec.get("job_id") or new_job_id()))
+    spec["job_id"] = job_id
+    os.makedirs(os.path.join(state_dir, INBOX_DIR), exist_ok=True)
+    atomic_write_json(inbox_path(state_dir, job_id), spec)
+    return job_id
+
+
+def read_result(state_dir: str, job_id: str) -> dict | None:
+    """The completed job's result payload, or ``None`` if not (yet) there."""
+    try:
+        with open(result_path(state_dir, job_id), "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def job_status(
+    state_dir: str, job_id: str | None = None
+) -> dict[str, JobView] | JobView | None:
+    """Replay the journal: all jobs, or one job's view (``None`` if unknown)."""
+    records, _problems = read_journal(state_dir)
+    jobs = replay(records)
+    if job_id is None:
+        return jobs
+    return jobs.get(job_id)
+
+
+def request_drain(state_dir: str) -> str:
+    """Ask a running daemon to drain in-flight jobs and exit."""
+    control = os.path.join(state_dir, CONTROL_DIR)
+    os.makedirs(control, exist_ok=True)
+    marker = os.path.join(control, DRAIN_MARKER)
+    with open(marker, "w", encoding="utf-8") as handle:
+        handle.write(f"{time.time()}\n")
+    return marker
+
+
+def drain_requested(state_dir: str) -> bool:
+    return os.path.exists(os.path.join(state_dir, CONTROL_DIR, DRAIN_MARKER))
+
+
+def clear_drain(state_dir: str) -> None:
+    try:
+        os.unlink(os.path.join(state_dir, CONTROL_DIR, DRAIN_MARKER))
+    except OSError:
+        pass
+
+
+def write_heartbeat(state_dir: str, state: str, seq: int) -> None:
+    """Atomically refresh the liveness beacon (wall-clock stamped)."""
+    atomic_write_json(
+        os.path.join(state_dir, HEARTBEAT_FILE),
+        {"pid": os.getpid(), "ts": time.time(), "seq": seq, "state": state},
+    )
+
+
+def read_heartbeat(state_dir: str) -> dict | None:
+    try:
+        path = os.path.join(state_dir, HEARTBEAT_FILE)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            return None
+        return payload
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def heartbeat_stale(state_dir: str, stale_after_s: float) -> bool:
+    """True when no live daemon owns this state dir.
+
+    A daemon is live when its heartbeat is fresh *and* its pid exists;
+    everything else — no heartbeat, stopped state, dead pid, or a beacon
+    older than ``stale_after_s`` — reads as stale, which is what lets a
+    restart take over after SIGKILL.
+    """
+    beat = read_heartbeat(state_dir)
+    if beat is None or beat.get("state") == "stopped":
+        return True
+    pid = beat.get("pid")
+    if not isinstance(pid, int) or not _pid_alive(pid):
+        return True
+    ts = beat.get("ts")
+    if not isinstance(ts, (int, float)):
+        return True
+    return (time.time() - ts) > stale_after_s

@@ -49,6 +49,90 @@ class TestRoundTrip:
             _store(tmp_path, max_bytes=0)
 
 
+class TestTTL:
+    def test_expired_entry_is_a_miss_and_deleted(self, tmp_path):
+        store = _store(tmp_path, max_age_s=1000.0)
+        store.put("k1", {"x": 1})
+        store._index["k1"]["stored_at"] -= 2000.0  # age it past the TTL
+        obj = os.path.join(store.root, "objects", "k1.pkl")
+        assert store.get("k1") is None
+        assert "k1" not in store
+        assert not os.path.exists(obj)
+
+    def test_fresh_entry_survives(self, tmp_path):
+        store = _store(tmp_path, max_age_s=1000.0)
+        store.put("k1", {"x": 1})
+        payload, _seconds, _size = store.get("k1")
+        assert payload == {"x": 1}
+
+    def test_no_ttl_means_no_expiry(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1})
+        store._index["k1"]["stored_at"] = 0.0  # decades old
+        assert store.get("k1") is not None
+
+    def test_nonpositive_ttl_rejected(self, tmp_path):
+        with pytest.raises(CacheError):
+            _store(tmp_path, max_age_s=0)
+        with pytest.raises(CacheError):
+            _store(tmp_path, max_age_s=-1.0)
+
+    def test_ttl_enforced_across_reopen(self, tmp_path):
+        store = _store(tmp_path, max_age_s=1000.0)
+        store.put("k1", {"x": 1})
+        store._index["k1"]["stored_at"] -= 2000.0
+        store.flush()
+        reopened = _store(tmp_path, max_age_s=1000.0)
+        assert reopened.get("k1") is None
+
+    def test_pre_ttl_index_falls_back_to_file_mtime(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", {"x": 1})
+        del store._index["k1"]["stored_at"]  # entry written pre-TTL
+        store.flush()
+        reopened = _store(tmp_path, max_age_s=1000.0)
+        # The payload file is brand new, so mtime keeps the entry alive.
+        assert reopened.get("k1") is not None
+        old = os.path.join(store.root, "objects", "k1.pkl")
+        os.utime(old, (1.0, 1.0))
+        again = _store(tmp_path, max_age_s=1000.0)
+        del again._index["k1"]["stored_at"]
+        again._index["k1"]["stored_at"] = again._mtime("k1")
+        assert again.get("k1") is None
+
+    def test_purge_expired_reports_count(self, tmp_path):
+        store = _store(tmp_path, max_age_s=1000.0)
+        store.put("old1", 1)
+        store.put("old2", 2)
+        store.put("fresh", 3)
+        for key in ("old1", "old2"):
+            store._index[key]["stored_at"] -= 2000.0
+        assert store.purge_expired() == 2
+        assert "fresh" in store and len(store) == 1
+
+
+class TestInvalidate:
+    def test_invalidate_one_key(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("k1", 1)
+        store.put("k2", 2)
+        assert store.invalidate("k1") == 1
+        assert "k1" not in store and "k2" in store
+        # The deletion is flushed — a reopen must not resurrect it.
+        assert "k1" not in _store(tmp_path)
+
+    def test_invalidate_all(self, tmp_path):
+        store = _store(tmp_path)
+        for index in range(3):
+            store.put(f"k{index}", index)
+        assert store.invalidate() == 3
+        assert len(store) == 0
+        assert len(_store(tmp_path)) == 0
+
+    def test_invalidate_absent_key_counts_zero(self, tmp_path):
+        assert _store(tmp_path).invalidate("ghost") == 0
+
+
 class TestCorruption:
     def test_corrupt_payload_is_a_miss_and_deleted(self, tmp_path):
         store = _store(tmp_path)

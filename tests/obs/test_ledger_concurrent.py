@@ -1,0 +1,121 @@
+"""Concurrent RunLedger writers: O_APPEND + fsync must never interleave.
+
+The serve daemon points every executor (and every recovered daemon
+generation) at one ledger directory, so the append discipline is now
+load-bearing across *processes*, not just threads. This stress test
+spawns real writer processes hammering one ledger and then requires a
+byte-perfect file: every record parses, nothing interleaves mid-line,
+and the per-run record counts all survive.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.ledger import read_ledger
+
+N_WRITERS = 4
+RUNS_PER_WRITER = 6
+
+_WRITER = r"""
+import sys
+from repro.obs.ledger import RunLedger, WallAnchor
+
+root, writer_id = sys.argv[1], sys.argv[2]
+ledger = RunLedger(root)
+for index in range({runs}):
+    ledger.record_failed_run(
+        anchor=WallAnchor.capture(),
+        phase_seconds={{"input+wc": 0.01, "transform": 0.02, "kmeans": 0.0}},
+        failed_step="kmeans",
+        error=f"stress w{{writer_id}} r{{index}}",
+        backend="threads-2",
+        n_docs=10,
+        config={{"writer": writer_id, "index": index}},
+    )
+print("done", writer_id)
+"""
+
+
+def test_parallel_writer_processes_never_corrupt(tmp_path):
+    root = str(tmp_path / "ledger")
+    script = _WRITER.format(runs=RUNS_PER_WRITER)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, root, str(writer)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for writer in range(N_WRITERS)
+    ]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert out.startswith("done")
+
+    records, problems = read_ledger(root)
+    assert problems == []
+    # record_failed_run appends one record per completed phase plus the
+    # failed step itself: 3 per run here.
+    assert len(records) == N_WRITERS * RUNS_PER_WRITER * 3
+
+    run_ids = {record["run_id"] for record in records}
+    assert len(run_ids) == N_WRITERS * RUNS_PER_WRITER
+    failed = [r for r in records if r["status"] == "failed"]
+    assert len(failed) == N_WRITERS * RUNS_PER_WRITER
+    # Every (writer, index) pair survived intact — no lost appends.
+    seen = {
+        (r["run"]["config"]["writer"], r["run"]["config"]["index"])
+        for r in failed
+    }
+    assert len(seen) == N_WRITERS * RUNS_PER_WRITER
+
+    # And the raw file itself is line-perfect: concurrent appends must
+    # never tear mid-record.
+    with open(f"{root}/ledger.jsonl", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    parsed = [json.loads(line) for line in lines if line.strip()]
+    assert len(parsed) == len(records)
+
+
+def test_thread_and_process_writers_mix(tmp_path):
+    """One in-process writer interleaving with a subprocess writer."""
+    import threading
+
+    from repro.obs.ledger import RunLedger, WallAnchor
+
+    root = str(tmp_path / "ledger")
+    script = _WRITER.format(runs=RUNS_PER_WRITER)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, root, "ext"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+    ledger = RunLedger(root)
+
+    def local_writer():
+        for index in range(RUNS_PER_WRITER):
+            ledger.record_failed_run(
+                anchor=WallAnchor.capture(),
+                phase_seconds={"input+wc": 0.01, "kmeans": 0.0},
+                failed_step="kmeans",
+                error=f"local r{index}",
+                backend="threads-2",
+                n_docs=10,
+            )
+
+    threads = [threading.Thread(target=local_writer) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    _, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err
+
+    records, problems = read_ledger(root)
+    assert problems == []
+    # subprocess: 3 records/run; local threads: 2 records/run each.
+    assert len(records) == RUNS_PER_WRITER * 3 + 2 * RUNS_PER_WRITER * 2

@@ -183,3 +183,31 @@ class TestObserveRun:
             actual = result.phase_seconds[phase]
             assert predicted < 10 * max(actual, 1e-4)
             assert actual < 10 * max(predicted, 1e-4)
+
+
+class TestObserveGate:
+    """``run_pipeline(observe=...)`` controls calibration feedback."""
+
+    def test_auto_plan_observes_by_default(self, corpus, probed):
+        store = CalibrationStore.from_dict(probed.to_dict())
+        before = store.samples
+        run_pipeline(corpus, plan="auto", calibration=store, trace=True)
+        assert store.samples > before
+        assert store.source == "observed"
+
+    def test_observe_false_leaves_the_store_untouched(self, corpus, probed):
+        store = CalibrationStore.from_dict(probed.to_dict())
+        snapshot = store.to_dict()
+        run_pipeline(
+            corpus, plan="auto", calibration=store, trace=True, observe=False
+        )
+        assert store.to_dict() == snapshot
+
+    def test_observe_false_skips_the_store_save(self, corpus, tmp_path):
+        path = str(tmp_path / "cal.json")
+        CalibrationStore.probe(corpus).save(path)
+        before = open(path).read()
+        run_pipeline(
+            corpus, plan="auto", calibration=path, trace=True, observe=False
+        )
+        assert open(path).read() == before

@@ -521,3 +521,120 @@ class TestLedgerAndAnalytics:
         assert after.source == "observed"
         assert (after.phases["kmeans"].compute_ns_per_doc
                 != before.phases["kmeans"].compute_ns_per_doc)
+
+
+class TestServeCli:
+    def test_serve_run_defaults(self):
+        args = build_parser().parse_args(["serve", "run", "--state", "s"])
+        assert args.backend == "threads"
+        assert args.max_depth == 8
+        assert args.orphan_policy == "retry"
+        assert args.idle_exit is None
+
+    def test_submit_run_status_round_trip(self, corpus_dir, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["serve", "submit", "--state", state,
+                     "--input", corpus_dir, "--iters", "2",
+                     "--job-id", "cli-1"]) == 0
+        assert "submitted cli-1" in capsys.readouterr().out
+        assert main(["serve", "run", "--state", state,
+                     "--idle-exit", "0.3", "--drain-deadline", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "1 done, 0 failed, 0 shed" in out
+        assert main(["serve", "status", "--state", state, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"]["cli-1"]["state"] == "done"
+        assert payload["jobs"]["cli-1"]["digest"]
+
+    def test_status_unknown_job_fails(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        os.makedirs(state)
+        assert main(["serve", "status", "--state", state,
+                     "--job", "ghost"]) == 1
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_drain_writes_marker(self, tmp_path, capsys):
+        from repro.serve.transport import drain_requested
+
+        state = str(tmp_path / "state")
+        assert main(["serve", "drain", "--state", state]) == 0
+        assert drain_requested(state)
+
+
+class TestCacheCli:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        from repro.cache.store import CacheStore
+
+        root = str(tmp_path / "cache")
+        store = CacheStore(root)
+        store.put("k1", {"x": 1})
+        store.put("k2", {"y": 2})
+        store.flush()
+        return root
+
+    def test_invalidate_one_key(self, cache_dir, capsys):
+        from repro.cache.store import CacheStore
+
+        assert main(["cache", "invalidate", "--cache", cache_dir,
+                     "--key", "k1"]) == 0
+        assert "invalidated 1 entry" in capsys.readouterr().out
+        store = CacheStore(cache_dir)
+        assert "k1" not in store and "k2" in store
+
+    def test_invalidate_all(self, cache_dir, capsys):
+        from repro.cache.store import CacheStore
+
+        assert main(["cache", "invalidate", "--cache", cache_dir,
+                     "--all"]) == 0
+        assert "invalidated 2 entries" in capsys.readouterr().out
+        assert len(CacheStore(cache_dir)) == 0
+
+    def test_invalidate_expired(self, cache_dir, capsys):
+        from repro.cache.store import CacheStore
+
+        store = CacheStore(cache_dir)
+        store._index["k1"]["stored_at"] -= 2000.0
+        store.flush()
+        assert main(["cache", "invalidate", "--cache", cache_dir,
+                     "--expired", "1000"]) == 0
+        assert "invalidated 1 expired entry" in capsys.readouterr().out
+        reopened = CacheStore(cache_dir)
+        assert "k1" not in reopened and "k2" in reopened
+
+    def test_unknown_key_fails(self, cache_dir, capsys):
+        assert main(["cache", "invalidate", "--cache", cache_dir,
+                     "--key", "ghost"]) == 1
+        assert "no cache entry" in capsys.readouterr().err
+
+    def test_missing_cache_dir_fails(self, tmp_path, capsys):
+        assert main(["cache", "invalidate",
+                     "--cache", str(tmp_path / "nope"), "--all"]) == 1
+
+    def test_pipeline_cache_ttl_requires_cache(self, corpus_dir, capsys):
+        assert main(["pipeline", "--input", corpus_dir,
+                     "--cache-ttl", "60"]) == 2
+        assert "--cache-ttl requires --cache" in capsys.readouterr().err
+
+    def test_pipeline_cache_ttl_expires_entries(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        from repro.cache.store import CacheStore
+
+        cache = str(tmp_path / "cache")
+        assert main(["pipeline", "--input", corpus_dir, "--cache", cache,
+                     "--max-iters", "2"]) == 0
+        store = CacheStore(cache)
+        assert len(store) > 0
+        for meta in store._index.values():
+            meta["stored_at"] -= 2000.0
+        store.flush()
+        capsys.readouterr()
+        # Aged entries are misses under a TTL'd rerun, which re-stores.
+        assert main(["pipeline", "--input", corpus_dir, "--cache", cache,
+                     "--cache-ttl", "1000", "--max-iters", "2"]) == 0
+        capsys.readouterr()
+        reopened = CacheStore(cache)
+        assert all(
+            meta["stored_at"] > 0 for meta in reopened._index.values()
+        )

@@ -41,6 +41,22 @@ def _record(mode="backends", **overrides):
             {"scenario": "warm", "total_s": 0.05, "ok": True,
              "cache": dict(snapshot)},
         ]
+    if mode == "serve":
+        counters = {
+            "jobs": 4, "done": 4, "failed": 0, "shed": 0,
+            "recovered": 0, "lost": 0, "double_completed": 0,
+        }
+        record["serve_summary"] = {
+            "reference_digest": "d" * 16, "shed": 0, "recovered": 1,
+            "lost": 0, "double_completed": 0, "latency_p50_s": 0.4,
+            "latency_p95_s": 0.9, "throughput_jobs_per_s": 5.0,
+            "all_ok": True,
+        }
+        record["runs"] = [
+            dict(counters, scenario="steady", total_s=0.8, ok=True),
+            dict(counters, scenario="crash-recovery", total_s=1.1,
+                 ok=True, recovered=1),
+        ]
     if mode == "oocore":
         record["schema"] = 2
         record["peak_rss_kb"] = 200_000
@@ -175,6 +191,39 @@ class TestValidate:
         record["runs"][1]["memory_budget"] = 2_000_000
         problems = validate_bench.validate([record])
         assert any("memory_budget < " in p for p in problems)
+
+    def test_serve_record_round_trips(self):
+        assert validate_bench.validate([_record(mode="serve")]) == []
+
+    def test_serve_record_needs_summary(self):
+        record = _record(mode="serve")
+        del record["serve_summary"]
+        problems = validate_bench.validate([record])
+        assert any("serve_summary" in p for p in problems)
+
+    def test_serve_lost_job_fails_the_record(self):
+        record = _record(mode="serve")
+        record["serve_summary"]["lost"] = 1
+        problems = validate_bench.validate([record])
+        assert any("exactly-once" in p for p in problems)
+
+    def test_serve_double_completion_fails_the_record(self):
+        record = _record(mode="serve")
+        record["serve_summary"]["double_completed"] = 2
+        problems = validate_bench.validate([record])
+        assert any("exactly-once" in p for p in problems)
+
+    def test_serve_summary_needs_latency_percentiles(self):
+        record = _record(mode="serve")
+        del record["serve_summary"]["latency_p95_s"]
+        problems = validate_bench.validate([record])
+        assert any("latency_p95_s" in p for p in problems)
+
+    def test_serve_run_needs_every_counter(self):
+        record = _record(mode="serve")
+        del record["runs"][0]["shed"]
+        problems = validate_bench.validate([record])
+        assert any("lacks integer 'shed'" in p for p in problems)
 
     def test_schema2_record_needs_rss(self):
         record = _record(schema=2)

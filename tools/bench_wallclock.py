@@ -35,6 +35,12 @@ trajectory:
   than the matrix). Exits nonzero unless every budgeted run is
   bit-identical to the untiled reference and keeps the spill plane's
   peak pinned bytes under its budget; each run records its own peak RSS.
+* ``--mode serve`` load-tests the serve daemon (``repro serve``):
+  concurrent submissions through steady-state, backpressure (forced
+  load-shedding), and a fault-injected crash + restart mid-load.
+  Records throughput, latency percentiles, and shed/recovered counts;
+  exits nonzero if any job is lost, double-completed, or differs from
+  the one-shot reference digest (see docs/serving.md).
 
 Usage::
 
@@ -73,6 +79,7 @@ from repro.bench.wallclock import (  # noqa: E402
     bench_oocore,
     bench_plan,
     bench_read_sweep,
+    bench_serve,
     bench_wallclock,
 )
 from repro.io.atomic import atomic_write_text  # noqa: E402
@@ -100,15 +107,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
                         choices=["backends", "read", "ipc", "faults", "plan",
-                                 "cache", "oocore"],
+                                 "cache", "oocore", "serve"],
                         default="backends",
                         help="sweep compute backends, read-worker counts "
                         "over an on-disk corpus (paper §3.2), the "
                         "shared-memory plane on/off with IPC accounting, "
                         "fault-injection recovery scenarios, the adaptive "
                         "planner vs fixed configurations, the "
-                        "cold/warm/incremental result-cache triple, or "
-                        "out-of-core tiled execution under memory budgets")
+                        "cold/warm/incremental result-cache triple, "
+                        "out-of-core tiled execution under memory budgets, "
+                        "or the serve daemon under concurrent load with a "
+                        "crash-recovery fault variant")
     parser.add_argument("--profile", choices=["mix", "nsf-abstracts"], default="mix")
     parser.add_argument("--scale", type=float, default=0.01,
                         help="corpus scale (fraction of the full profile)")
@@ -143,6 +152,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="memory budgets for --mode oocore, as "
                         "fractions of the measured matrix footprint "
                         "(must include a fraction < 1)")
+    parser.add_argument("--serve-jobs", type=int, default=8,
+                        help="concurrent submissions per scenario for "
+                        "--mode serve")
+    parser.add_argument("--serve-executors", type=int, default=2,
+                        help="daemon executor threads for --mode serve")
+    parser.add_argument("--serve-backend", default="threads",
+                        choices=["sequential", "threads", "processes"],
+                        help="job execution backend for --mode serve")
+    parser.add_argument("--no-serve-fault", action="store_true",
+                        help="skip the crash-recovery scenario in "
+                        "--mode serve")
     parser.add_argument("--calibration", default=None, metavar="PATH",
                         help="calibration store for --mode plan (JSON; "
                         "probed from the corpus and persisted when the "
@@ -174,8 +194,22 @@ def main(argv: list[str] | None = None) -> int:
         args.kmeans_iters = 2
         if args.compute_workers is None:
             args.compute_workers = 2
+        args.serve_jobs = min(args.serve_jobs, 4)
 
-    if args.mode == "oocore":
+    if args.mode == "serve":
+        record = bench_serve(
+            profile=args.profile,
+            scale=args.scale,
+            n_jobs=args.serve_jobs,
+            executors=args.serve_executors,
+            workers=2 if args.tiny else 4,
+            backend=args.serve_backend,
+            repeats=args.repeats,
+            seed=args.seed,
+            kmeans_iters=args.kmeans_iters,
+            fault=not args.no_serve_fault,
+        )
+    elif args.mode == "oocore":
         record = bench_oocore(
             profile=args.profile,
             scale=args.scale,
@@ -251,7 +285,27 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{record['n_docs']} documents, profile={record['profile']} "
           f"scale={record['scale']}, host cpus={record['host']['cpu_count']}")
-    if args.mode == "oocore":
+    if args.mode == "serve":
+        header = (f"{'scenario':>15} {'total_s':>9} {'done':>5} "
+                  f"{'shed':>5} {'recov':>6} {'p50_s':>7} {'p95_s':>7} "
+                  f"{'jobs/s':>7} ok")
+        print(header)
+        for run in record["runs"]:
+            p50 = run["latency_p50_s"]
+            p95 = run["latency_p95_s"]
+            thru = run["throughput_jobs_per_s"]
+            print(f"{run['scenario']:>15} {run['total_s']:>9.3f} "
+                  f"{run['done']:>5} {run['shed']:>5} {run['recovered']:>6} "
+                  f"{(f'{p50:.3f}' if p50 is not None else '-'):>7} "
+                  f"{(f'{p95:.3f}' if p95 is not None else '-'):>7} "
+                  f"{(f'{thru:.2f}' if thru is not None else '-'):>7} "
+                  f"{'yes' if run['ok'] else 'NO'}")
+        summary = record["serve_summary"]
+        print(f"lost: {summary['lost']}, double-completed: "
+              f"{summary['double_completed']}, shed: {summary['shed']}, "
+              f"recovered: {summary['recovered']} "
+              f"({'ok' if summary['all_ok'] else 'FAILED'})")
+    elif args.mode == "oocore":
         summary = record["oocore_summary"]
         print(f"matrix footprint: {summary['matrix_bytes']:,} bytes")
         header = (f"{'config':>14} {'budget_B':>10} {'total_s':>9} "

@@ -8,9 +8,9 @@ across PRs:
   reported, but new files should be lists);
 * every record has ``benchmark == "wallclock"``, a known ``mode``
   (``backends``/``read``/``ipc``/``faults``/``plan``/``cache``/
-  ``oocore``), and the shared envelope keys: ``profile``, ``scale``,
-  ``n_docs``, ``repeats``, ``kmeans_iters``, ``host``, ``config``,
-  ``runs``;
+  ``oocore``/``serve``), and the shared envelope keys: ``profile``,
+  ``scale``, ``n_docs``, ``repeats``, ``kmeans_iters``, ``host``,
+  ``config``, ``runs``;
 * schema-2 records (``"schema": 2``, everything the bench appends now)
   must also carry a numeric top-level ``peak_rss_kb`` — the memory
   envelope next to the wall time. Historical records without a
@@ -30,6 +30,12 @@ across PRs:
   than the matrix footprint, and every budgeted run's ``tiles`` snapshot
   must show ``peak_pinned_bytes <= memory_budget`` — the bounded-memory
   witness is validated, not just recorded;
+* ``serve`` records additionally carry ``serve_summary`` with numeric
+  ``shed``/``recovered``/``lost``/``double_completed`` counters and the
+  steady scenario's latency percentiles; ``lost`` and
+  ``double_completed`` must be zero (the exactly-once witness), and
+  every scenario run carries its ``done``/``shed``/``recovered``
+  counts;
 * a truncated, empty, or otherwise unparseable file fails loudly with a
   diagnostic naming the path — it is the append-forever performance
   trajectory, so silent acceptance of a half-written file would poison
@@ -48,7 +54,13 @@ import argparse
 import json
 import sys
 
-_MODES = {"backends", "read", "ipc", "faults", "plan", "cache", "oocore"}
+_MODES = {"backends", "read", "ipc", "faults", "plan", "cache", "oocore",
+          "serve"}
+
+#: Counters every serve scenario run and the serve summary must carry.
+_SERVE_RUN_KEYS = ("jobs", "done", "failed", "shed", "recovered", "lost",
+                   "double_completed")
+_SERVE_SUMMARY_KEYS = ("shed", "recovered", "lost", "double_completed")
 
 #: Accounting counters every cached scenario's snapshot must carry.
 _CACHE_RUN_KEYS = ("hits", "misses", "bytes_saved", "seconds_saved")
@@ -210,6 +222,37 @@ def _validate_record(record: object, label: str) -> list[str]:
                 f"{label}: oocore record has no run with memory_budget < "
                 f"matrix_bytes — the out-of-core case is the point"
             )
+
+    if record["mode"] == "serve":
+        summary = record.get("serve_summary")
+        if not isinstance(summary, dict):
+            problems.append(f"{label}: serve record lacks 'serve_summary'")
+        else:
+            for key in _SERVE_SUMMARY_KEYS:
+                if not isinstance(summary.get(key), int):
+                    problems.append(
+                        f"{label}: serve_summary lacks integer {key!r}"
+                    )
+            for key in ("lost", "double_completed"):
+                if summary.get(key):
+                    problems.append(
+                        f"{label}: serve_summary.{key} = {summary[key]} — "
+                        f"completion is not exactly-once"
+                    )
+            for key in ("latency_p50_s", "latency_p95_s"):
+                if not isinstance(summary.get(key), (int, float)):
+                    problems.append(
+                        f"{label}: serve_summary lacks numeric {key!r} "
+                        f"(latency percentiles are the load-test point)"
+                    )
+        for index, run in enumerate(runs):
+            if not isinstance(run, dict):
+                continue
+            for key in _SERVE_RUN_KEYS:
+                if not isinstance(run.get(key), int):
+                    problems.append(
+                        f"{label}: serve run {index} lacks integer {key!r}"
+                    )
     return problems
 
 

@@ -1,0 +1,240 @@
+"""Validate a serve state directory's job journal (strict CI stance).
+
+The journal (``docs/serving.md``) is the serve daemon's durable record
+of every job lifecycle transition; the *runtime* reader skips damage
+loudly so recovery never dies, but CI wants the opposite — a journal
+written by the smoke/crash tests must be pristine, so here any
+unparseable line, unknown schema, illegal transition, or double
+completion is an error:
+
+* every line is a parseable JSON object carrying ``schema`` (integer
+  >= 1; deep checks apply to schema 1), ``kind`` (``job``/``daemon``),
+  ``event``, numeric ``ts``, and integer ``pid``;
+* job records carry a non-empty ``job_id`` and only legal events;
+  ``done`` needs ``digest`` + numeric ``total_s``, ``failed`` needs
+  ``error``, ``shed`` needs ``reason``;
+* per job, events follow the lifecycle state machine (submitted →
+  admitted|shed; admitted/requeued → running; running →
+  done|failed|requeued), timestamps strictly increase, and **at most
+  one terminal event** ever appears — the exactly-once guarantee;
+* ``--expect-done N`` additionally asserts exactly N jobs completed
+  (the CI smoke's no-job-lost check).
+
+Usage::
+
+    python tools/validate_journal.py /path/to/state [--expect-done N]
+
+Exit code 0 when the journal passes, 1 with diagnostics when it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from loudload import LoudLoadError, read_text_strict  # noqa: E402
+
+#: Highest schema this validator checks deeply.
+JOURNAL_SCHEMA = 1
+
+JOURNAL_FILE = "journal.jsonl"
+
+_REMEDY = (
+    "the journal is the service's source of truth — restore it from the "
+    "state directory backup or delete the damaged tail"
+)
+
+_JOB_EVENTS = {
+    "submitted", "admitted", "shed", "running", "requeued", "done", "failed",
+}
+_DAEMON_EVENTS = {"start", "recovered", "breaker-open", "drain", "shutdown"}
+_TERMINAL = {"shed", "done", "failed"}
+
+#: state -> legally appendable next events (None = no prior record).
+#: Mirrors ``repro.serve.journal.LEGAL_TRANSITIONS`` (kept standalone so
+#: the validator needs no PYTHONPATH).
+_TRANSITIONS = {
+    None: {"submitted"},
+    "submitted": {"admitted", "shed"},
+    "admitted": {"running", "requeued", "failed"},
+    "running": {"done", "failed", "requeued"},
+    "requeued": {"running", "requeued", "failed"},
+}
+
+
+def _validate_record(record: object, label: str) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"{label}: record is not an object"]
+    schema = record.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        return [f"{label}: 'schema' must be an integer >= 1, got {schema!r}"]
+    if schema > JOURNAL_SCHEMA:
+        return []  # a newer writer's records cannot be deep-checked here
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        problems.append(f"{label}: 'ts' must be a non-negative number")
+    if not isinstance(record.get("pid"), int):
+        problems.append(f"{label}: 'pid' must be an integer")
+    kind = record.get("kind")
+    event = record.get("event")
+    if kind == "daemon":
+        if event not in _DAEMON_EVENTS:
+            problems.append(
+                f"{label}: unknown daemon event {event!r} "
+                f"(expected one of {sorted(_DAEMON_EVENTS)})"
+            )
+        return problems
+    if kind != "job":
+        problems.append(
+            f"{label}: 'kind' must be 'job' or 'daemon', got {kind!r}"
+        )
+        return problems
+    if not isinstance(record.get("job_id"), str) or not record["job_id"]:
+        problems.append(f"{label}: job record lacks a non-empty 'job_id'")
+    if event not in _JOB_EVENTS:
+        problems.append(
+            f"{label}: unknown job event {event!r} "
+            f"(expected one of {sorted(_JOB_EVENTS)})"
+        )
+        return problems
+    if event == "done":
+        if not isinstance(record.get("digest"), str) or not record["digest"]:
+            problems.append(f"{label}: done record lacks its 'digest' string")
+        if not isinstance(record.get("total_s"), (int, float)):
+            problems.append(f"{label}: done record lacks numeric 'total_s'")
+    if event == "failed" and not isinstance(record.get("error"), str):
+        problems.append(f"{label}: failed record lacks its 'error' string")
+    if event == "shed" and not isinstance(record.get("reason"), str):
+        problems.append(f"{label}: shed record lacks its 'reason' string")
+    return problems
+
+
+def validate_file(path: str) -> tuple[list[dict], list[str]]:
+    """Validate one journal file; returns (parsed records, problems)."""
+    try:
+        raw = read_text_strict(path, remedy=_REMEDY)
+    except LoudLoadError as exc:
+        return [], [str(exc)]
+    records: list[dict] = []
+    problems: list[str] = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        if not line.strip():
+            continue
+        label = f"{os.path.basename(path)}:{lineno}"
+        try:
+            record = json.loads(line)
+        except ValueError:
+            problems.append(
+                f"{label}: not valid JSON (truncated append?); {_REMEDY}"
+            )
+            continue
+        record_problems = _validate_record(record, label)
+        problems.extend(record_problems)
+        if not record_problems and isinstance(record, dict):
+            records.append(record)
+    return records, problems
+
+
+def _validate_lifecycles(records: list[dict]) -> list[str]:
+    """Per-job state machine, timestamp order, exactly-once terminality."""
+    problems: list[str] = []
+    states: dict[str, str | None] = {}
+    stamps: dict[str, float] = {}
+    terminal_counts: dict[str, int] = {}
+    for record in records:
+        if record.get("kind") != "job" or record.get("schema") != JOURNAL_SCHEMA:
+            continue
+        job_id = record.get("job_id")
+        event = record.get("event")
+        if not isinstance(job_id, str) or event not in _JOB_EVENTS:
+            continue
+        ts = record.get("ts", 0.0)
+        if job_id in stamps and ts <= stamps[job_id]:
+            problems.append(
+                f"job {job_id}: timestamps not strictly increasing "
+                f"({ts} after {stamps[job_id]})"
+            )
+        stamps[job_id] = ts
+        state = states.get(job_id)
+        legal = _TRANSITIONS.get(state, set())
+        if state in _TERMINAL:
+            problems.append(
+                f"job {job_id}: event {event!r} after terminal "
+                f"state {state!r} — the job was resurrected"
+            )
+        elif event not in legal:
+            problems.append(
+                f"job {job_id}: illegal transition {state!r} -> {event!r} "
+                f"(legal: {sorted(legal)})"
+            )
+        states[job_id] = event
+        if event in _TERMINAL:
+            terminal_counts[job_id] = terminal_counts.get(job_id, 0) + 1
+    for job_id, count in terminal_counts.items():
+        if count > 1:
+            problems.append(
+                f"job {job_id}: {count} terminal events — completion is "
+                f"not exactly-once"
+            )
+    return problems
+
+
+def validate_state_dir(root: str) -> tuple[list[dict], list[str]]:
+    """Validate the journal inside a serve state directory (or a file)."""
+    path = root
+    if os.path.isdir(root):
+        path = os.path.join(root, JOURNAL_FILE)
+    if not os.path.isfile(path):
+        return [], [f"{path} does not exist — no journal was written"]
+    records, problems = validate_file(path)
+    problems.extend(_validate_lifecycles(records))
+    return records, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "state", help="serve state directory (or a journal .jsonl file)"
+    )
+    parser.add_argument(
+        "--expect-done", type=int, default=None, metavar="N",
+        help="fail unless exactly N jobs reached 'done'",
+    )
+    args = parser.parse_args(argv)
+
+    records, problems = validate_state_dir(args.state)
+    done_jobs = {
+        record["job_id"]
+        for record in records
+        if record.get("kind") == "job" and record.get("event") == "done"
+    }
+    if args.expect_done is not None and len(done_jobs) != args.expect_done:
+        problems.append(
+            f"expected exactly {args.expect_done} completed job(s), "
+            f"found {len(done_jobs)}"
+        )
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    jobs = {
+        record["job_id"] for record in records if record.get("kind") == "job"
+    }
+    events = sorted({record["event"] for record in records})
+    print(
+        f"{args.state}: {len(records)} valid journal record(s) across "
+        f"{len(jobs)} job(s), {len(done_jobs)} completed "
+        f"(events: {', '.join(events)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
